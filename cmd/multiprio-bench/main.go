@@ -1,0 +1,160 @@
+// Command multiprio-bench regenerates the tables and figures of the
+// paper's evaluation (see DESIGN.md §4 and EXPERIMENTS.md).
+//
+// Usage:
+//
+//	multiprio-bench -exp table2|fig3|fig4|fig5|fig6|fig7|fig8|ablation|all [-scale quick|full] [-gantt]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"multiprio/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: table2, fig3, fig4, fig5, fig6, fig7, fig8, ablation, hier, energy, stress, overhead, all")
+	scaleFlag := flag.String("scale", "quick", "problem sizing: quick (seconds) or full (paper-scale, minutes)")
+	gantt := flag.Bool("gantt", false, "include ASCII Gantt traces where applicable (fig4)")
+	flag.Parse()
+
+	var scale experiments.Scale
+	switch *scaleFlag {
+	case "quick":
+		scale = experiments.Quick
+	case "full":
+		scale = experiments.Full
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleFlag)
+		os.Exit(2)
+	}
+
+	if err := run(*exp, scale, *gantt); err != nil {
+		fmt.Fprintf(os.Stderr, "multiprio-bench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, scale experiments.Scale, gantt bool) error {
+	out := os.Stdout
+	prog := os.Stderr
+
+	type printer interface{ Print(w *os.File) }
+	_ = printer(nil)
+
+	runs := map[string]func() error{
+		"table2": func() error {
+			r, err := experiments.RunTable2()
+			if err != nil {
+				return err
+			}
+			r.Print(out)
+			return nil
+		},
+		"fig3": func() error {
+			r, err := experiments.RunFig3()
+			if err != nil {
+				return err
+			}
+			r.Print(out)
+			return nil
+		},
+		"fig4": func() error {
+			r, err := experiments.RunFig4(scale, gantt)
+			if err != nil {
+				return err
+			}
+			r.Print(out)
+			return nil
+		},
+		"fig5": func() error {
+			r, err := experiments.RunFig5(scale, prog)
+			if err != nil {
+				return err
+			}
+			r.Print(out)
+			return nil
+		},
+		"fig6": func() error {
+			r, err := experiments.RunFig6(scale, prog)
+			if err != nil {
+				return err
+			}
+			r.Print(out)
+			return nil
+		},
+		"fig7": func() error {
+			r, err := experiments.RunFig7()
+			if err != nil {
+				return err
+			}
+			r.Print(out)
+			return nil
+		},
+		"fig8": func() error {
+			r, err := experiments.RunFig8(scale, prog)
+			if err != nil {
+				return err
+			}
+			r.Print(out)
+			return nil
+		},
+		"overhead": func() error {
+			r, err := experiments.RunOverhead(scale, prog)
+			if err != nil {
+				return err
+			}
+			r.Print(out)
+			return nil
+		},
+		"stress": func() error {
+			r, err := experiments.RunStress(scale, prog)
+			if err != nil {
+				return err
+			}
+			r.Print(out)
+			return nil
+		},
+		"hier": func() error {
+			r, err := experiments.RunHier(scale, prog)
+			if err != nil {
+				return err
+			}
+			r.Print(out)
+			return nil
+		},
+		"energy": func() error {
+			r, err := experiments.RunEnergy(scale, prog)
+			if err != nil {
+				return err
+			}
+			r.Print(out)
+			return nil
+		},
+		"ablation": func() error {
+			r, err := experiments.RunAblation(scale, prog)
+			if err != nil {
+				return err
+			}
+			r.Print(out)
+			return nil
+		},
+	}
+
+	if exp == "all" {
+		for _, name := range []string{"table2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "ablation", "hier", "energy", "stress", "overhead"} {
+			fmt.Fprintf(out, "\n========== %s ==========\n", name)
+			if err := runs[name](); err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+		}
+		return nil
+	}
+	f, ok := runs[exp]
+	if !ok {
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return f()
+}

@@ -1,0 +1,215 @@
+// Command multiprio-trace runs one workload/scheduler configuration in
+// the simulator and dumps the execution summary, per-resource idle
+// shares, transfer volumes, an ASCII Gantt chart and the practical
+// critical path — the same diagnostics the paper reads off StarVZ
+// traces.
+//
+// Usage:
+//
+//	multiprio-trace -app cholesky|lu|qr|hier|fmm|sparseqr -sched multiprio
+//	                [-platform intel-v100] [-tiles 24] [-tile 960]
+//	                [-particles 200000] [-height 5] [-matrix e18]
+//	                [-streams 1] [-gantt] [-width 120]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"multiprio/internal/apps/dense"
+	"multiprio/internal/apps/fmm"
+	"multiprio/internal/apps/sparseqr"
+	"multiprio/internal/core"
+	"multiprio/internal/experiments"
+	"multiprio/internal/perfmodel"
+	"multiprio/internal/runtime"
+	"multiprio/internal/sim"
+	"multiprio/internal/trace"
+)
+
+func main() {
+	app := flag.String("app", "cholesky", "workload: cholesky, lu, qr, hier, fmm, sparseqr")
+	sched := flag.String("sched", "multiprio", "scheduler: multiprio (+ -noevict/-nocrit/-nolocal/-flatgain), dmdas, dmdar, dmda, dm, heteroprio, lws, prio, eager")
+	platformName := flag.String("platform", "intel-v100", "platform: intel-v100, amd-a100, smallsim")
+	tiles := flag.Int("tiles", 24, "dense: tile count per dimension")
+	tile := flag.Int("tile", 960, "dense: tile size")
+	prios := flag.Bool("prios", true, "dense: expert (bottom-level) user priorities for dmdas")
+	particles := flag.Int("particles", 200000, "fmm: particle count")
+	height := flag.Int("height", 5, "fmm: octree height")
+	clustered := flag.Bool("clustered", false, "fmm: clustered particle distribution")
+	matrix := flag.String("matrix", "e18", "sparseqr: matrix name from the Fig. 7 set")
+	streams := flag.Int("streams", 1, "GPU streams per device")
+	gantt := flag.Bool("gantt", false, "print the ASCII Gantt chart")
+	width := flag.Int("width", 120, "Gantt width in columns")
+	locN := flag.Int("n", 0, "multiprio: override locality window n")
+	eps := flag.Float64("eps", 0, "multiprio: override epsilon")
+	hist := flag.Bool("hist", false, "history-based performance model (StarPU-style footprint buckets) instead of oracle")
+	chromeOut := flag.String("chrome", "", "write a Chrome trace-event JSON (chrome://tracing, Perfetto) to this file")
+	csvOut := flag.String("csv", "", "write the task spans as CSV to this file")
+	dotOut := flag.String("dot", "", "write the task DAG in Graphviz DOT format to this file (truncated to 2000 tasks)")
+	flag.Parse()
+
+	if err := run(*app, *sched, *platformName, *tiles, *tile, *prios, *particles, *height, *clustered, *matrix, *streams, *gantt, *width, *locN, *eps, *hist, *chromeOut, *csvOut, *dotOut); err != nil {
+		fmt.Fprintf(os.Stderr, "multiprio-trace: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(app, sched, platformName string, tiles, tile int, prios bool, particles, height int, clustered bool, matrix string, streams int, gantt bool, width, locN int, eps float64, hist bool, chromeOut, csvOut, dotOut string) error {
+	m, err := experiments.PlatformByName(platformName, streams)
+	if err != nil {
+		return err
+	}
+	var g *runtime.Graph
+	switch app {
+	case "cholesky":
+		g = dense.Cholesky(dense.Params{Tiles: tiles, TileSize: tile, Machine: m, UserPriorities: prios})
+	case "lu":
+		g = dense.LU(dense.Params{Tiles: tiles, TileSize: tile, Machine: m, UserPriorities: prios})
+	case "qr":
+		g = dense.QR(dense.Params{Tiles: tiles, TileSize: tile, Machine: m, UserPriorities: prios})
+	case "hier":
+		g = dense.HierarchicalCholesky(dense.HierParams{
+			Blocks: tiles, SubTiles: 5, TileSize: tile, Machine: m, UserPriorities: prios,
+		})
+	case "fmm":
+		g = fmm.Build(fmm.Params{Particles: particles, Height: height, Clustered: clustered, Machine: m, Seed: 12})
+	case "sparseqr":
+		stats, ok := sparseqr.ByName(matrix)
+		if !ok {
+			return fmt.Errorf("unknown matrix %q", matrix)
+		}
+		g = sparseqr.Build(stats, sparseqr.Params{Machine: m})
+	default:
+		return fmt.Errorf("unknown app %q", app)
+	}
+
+	var s runtime.Scheduler
+	if sched == "multiprio" && (locN > 0 || eps > 0) {
+		cfg := core.Defaults()
+		if locN > 0 {
+			cfg.LocalityWindow = locN
+		}
+		if eps > 0 {
+			cfg.Epsilon = eps
+		}
+		s = core.New(cfg)
+	} else {
+		var err error
+		s, err = experiments.NewScheduler(sched)
+		if err != nil {
+			return err
+		}
+	}
+	opts := sim.Options{}
+	if hist {
+		h := perfmodel.NewHistory()
+		opts.History = h
+		opts.Estimator = h
+	}
+	res, err := sim.Run(m, g, s, opts)
+	if err != nil {
+		return err
+	}
+	if mp, ok := s.(*core.Sched); ok {
+		defer fmt.Printf("  multiprio evictions: %d\n", mp.Evictions)
+	}
+
+	fmt.Printf("%s on %s under %s: %d tasks, %.1f Gflop\n",
+		app, m, s.Name(), len(g.Tasks), g.TotalFlops()/1e9)
+	fmt.Print(res.Trace.Summary())
+	fmt.Printf("  achieved %.0f GFlop/s; critical path bound %.4fs; serial best %.4fs\n",
+		g.TotalFlops()/res.Makespan/1e9, g.CriticalPathTime(), g.SerialTime())
+	var waitTotal float64
+	for _, sp := range res.Trace.Spans {
+		waitTotal += sp.Wait
+	}
+	fmt.Printf("  total transfer-wait inside spans: %.4fs\n", waitTotal)
+	type key struct {
+		kind string
+		arch string
+	}
+	cnt := map[key]int{}
+	tim := map[key]float64{}
+	for _, sp := range res.Trace.Spans {
+		k := key{sp.Kind, m.ArchName(m.Units[sp.Worker].Arch)}
+		cnt[k]++
+		tim[k] += sp.End - sp.Start - sp.Wait
+	}
+	keys := make([]key, 0, len(cnt))
+	for k := range cnt {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].kind != keys[j].kind {
+			return keys[i].kind < keys[j].kind
+		}
+		return keys[i].arch < keys[j].arch
+	})
+	for _, k := range keys {
+		fmt.Printf("  %-10s %-4s %6d tasks %9.4fs\n", k.kind, k.arch, cnt[k], tim[k])
+	}
+	for mem, ov := range res.OverflowBytes {
+		if ov > 0 {
+			fmt.Printf("  memory overflow on node %d: %d bytes\n", mem, ov)
+		}
+	}
+	cp := trace.PracticalCriticalPath(g)
+	fmt.Printf("  practical critical path: %d tasks:", len(cp))
+	for i, t := range cp {
+		if i >= 12 {
+			fmt.Printf(" ... (+%d more)", len(cp)-i)
+			break
+		}
+		fmt.Printf(" %s", t.Kind)
+	}
+	fmt.Println()
+	if gantt {
+		fmt.Println(res.Trace.Gantt(width))
+	}
+	if chromeOut != "" {
+		f, err := os.Create(chromeOut)
+		if err != nil {
+			return err
+		}
+		if err := res.Trace.WriteChromeTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("  wrote Chrome trace to %s\n", chromeOut)
+	}
+	if dotOut != "" {
+		f, err := os.Create(dotOut)
+		if err != nil {
+			return err
+		}
+		if err := g.WriteDOT(f, 2000); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("  wrote DAG to %s\n", dotOut)
+	}
+	if csvOut != "" {
+		f, err := os.Create(csvOut)
+		if err != nil {
+			return err
+		}
+		if err := res.Trace.WriteCSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("  wrote CSV spans to %s\n", csvOut)
+	}
+	return nil
+}

@@ -1,0 +1,3 @@
+module multiprio
+
+go 1.22

@@ -1,0 +1,80 @@
+package dense
+
+import (
+	"multiprio/internal/runtime"
+)
+
+// TileCoord tags a dense kernel task with its tile coordinates.
+type TileCoord struct {
+	K, I, J int
+}
+
+// Cholesky builds the task graph of the right-looking tiled Cholesky
+// factorization (potrf) of a symmetric positive-definite T×T-tile
+// matrix: the paper's regular reference workload (Fig. 4 and the potrf
+// rows of Fig. 5).
+//
+// Per panel step k: POTRF on the diagonal tile, TRSM down the panel,
+// then SYRK/GEMM updates of the trailing submatrix.
+func Cholesky(p Params) *runtime.Graph {
+	p.validate("potrf")
+	g := runtime.NewGraph()
+	a := TileMatrix(g, "A", p.Tiles, p.TileSize)
+	var payload *choleskyPayload
+	if p.Kernels {
+		payload = newCholeskyPayload(g, a, p)
+	}
+
+	for k := 0; k < p.Tiles; k++ {
+		potrf := newTask(p, "potrf", []runtime.Access{
+			{Handle: a[k][k], Mode: runtime.RW},
+		}, TileCoord{K: k, I: k, J: k})
+		if payload != nil {
+			payload.bindPotrf(potrf, k)
+		}
+		g.Submit(potrf)
+
+		for i := k + 1; i < p.Tiles; i++ {
+			trsm := newTask(p, "trsm", []runtime.Access{
+				{Handle: a[k][k], Mode: runtime.R},
+				{Handle: a[i][k], Mode: runtime.RW},
+			}, TileCoord{K: k, I: i, J: k})
+			if payload != nil {
+				payload.bindTrsm(trsm, k, i)
+			}
+			g.Submit(trsm)
+		}
+		for i := k + 1; i < p.Tiles; i++ {
+			syrk := newTask(p, "syrk", []runtime.Access{
+				{Handle: a[i][k], Mode: runtime.R},
+				{Handle: a[i][i], Mode: runtime.RW},
+			}, TileCoord{K: k, I: i, J: i})
+			if payload != nil {
+				payload.bindSyrk(syrk, k, i)
+			}
+			g.Submit(syrk)
+			for j := k + 1; j < i; j++ {
+				gemm := newTask(p, "gemm", []runtime.Access{
+					{Handle: a[i][k], Mode: runtime.R},
+					{Handle: a[j][k], Mode: runtime.R},
+					{Handle: a[i][j], Mode: runtime.RW},
+				}, TileCoord{K: k, I: i, J: j})
+				if payload != nil {
+					payload.bindGemm(gemm, k, i, j)
+				}
+				g.Submit(gemm)
+			}
+		}
+	}
+	if p.UserPriorities {
+		AssignBottomLevelPriorities(g)
+	}
+	return g
+}
+
+// CholeskyTaskCount returns the number of tasks of a T-tile Cholesky:
+// T potrf + T(T-1)/2 trsm + T(T-1)/2 syrk + T(T-1)(T-2)/6 gemm.
+func CholeskyTaskCount(tiles int) int {
+	t := tiles
+	return t + t*(t-1)/2 + t*(t-1)/2 + t*(t-1)*(t-2)/6
+}

@@ -1,0 +1,222 @@
+package dense
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"multiprio/internal/runtime"
+)
+
+// choleskyPayload carries real float64 tiles and binds naive compute
+// kernels to the graph's tasks, so the factorization can execute on the
+// threaded engine and be verified numerically (examples/quickstart).
+type choleskyPayload struct {
+	b     int
+	tiles [][][]float64 // [i][j] -> row-major b×b tile, lower part only
+}
+
+func newCholeskyPayload(g *runtime.Graph, handles [][]*runtime.DataHandle, p Params) *choleskyPayload {
+	pl := &choleskyPayload{b: p.TileSize}
+	pl.tiles = make([][][]float64, p.Tiles)
+	for i := range pl.tiles {
+		pl.tiles[i] = make([][]float64, p.Tiles)
+		for j := 0; j <= i; j++ {
+			pl.tiles[i][j] = make([]float64, p.TileSize*p.TileSize)
+			handles[i][j].Payload = &pl.tiles[i][j]
+		}
+	}
+	return pl
+}
+
+// FillSPD initializes the lower tiles with a random symmetric
+// positive-definite matrix: A = R + Rᵀ + 2n·I for uniform R.
+func (pl *choleskyPayload) FillSPD(seed int64) {
+	b := pl.b
+	tiles := len(pl.tiles)
+	n := tiles * b
+	rng := rand.New(rand.NewSource(seed))
+	full := make([]float64, n*n)
+	for r := 0; r < n; r++ {
+		for c := 0; c <= r; c++ {
+			v := rng.Float64()
+			full[r*n+c] = v
+			full[c*n+r] = v
+		}
+		full[r*n+r] += 2 * float64(n)
+	}
+	for i := 0; i < tiles; i++ {
+		for j := 0; j <= i; j++ {
+			t := pl.tiles[i][j]
+			for r := 0; r < b; r++ {
+				copy(t[r*b:(r+1)*b], full[(i*b+r)*n+j*b:(i*b+r)*n+j*b+b])
+			}
+		}
+	}
+}
+
+func (pl *choleskyPayload) bindPotrf(t *runtime.Task, k int) {
+	a := pl.tiles[k][k]
+	b := pl.b
+	t.Run = func(w runtime.WorkerInfo) {
+		if err := potrfKernel(a, b); err != nil {
+			panic(err)
+		}
+	}
+}
+
+func (pl *choleskyPayload) bindTrsm(t *runtime.Task, k, i int) {
+	l, x := pl.tiles[k][k], pl.tiles[i][k]
+	b := pl.b
+	t.Run = func(w runtime.WorkerInfo) { trsmKernel(l, x, b) }
+}
+
+func (pl *choleskyPayload) bindSyrk(t *runtime.Task, k, i int) {
+	a, c := pl.tiles[i][k], pl.tiles[i][i]
+	b := pl.b
+	t.Run = func(w runtime.WorkerInfo) { syrkKernel(a, c, b) }
+}
+
+func (pl *choleskyPayload) bindGemm(t *runtime.Task, k, i, j int) {
+	a, bm, c := pl.tiles[i][k], pl.tiles[j][k], pl.tiles[i][j]
+	b := pl.b
+	t.Run = func(w runtime.WorkerInfo) { gemmKernel(a, bm, c, b) }
+}
+
+// potrfKernel computes the in-place lower Cholesky factor of a b×b tile.
+func potrfKernel(a []float64, b int) error {
+	for j := 0; j < b; j++ {
+		d := a[j*b+j]
+		for k := 0; k < j; k++ {
+			d -= a[j*b+k] * a[j*b+k]
+		}
+		if d <= 0 {
+			return fmt.Errorf("dense: tile not positive definite at column %d (pivot %g)", j, d)
+		}
+		d = math.Sqrt(d)
+		a[j*b+j] = d
+		for i := j + 1; i < b; i++ {
+			s := a[i*b+j]
+			for k := 0; k < j; k++ {
+				s -= a[i*b+k] * a[j*b+k]
+			}
+			a[i*b+j] = s / d
+		}
+		for k := j + 1; k < b; k++ {
+			a[j*b+k] = 0
+		}
+	}
+	return nil
+}
+
+// trsmKernel solves X·Lᵀ = X in place for the lower-triangular factor L
+// (right side, transposed): X[r][c] updates column by column.
+func trsmKernel(l, x []float64, b int) {
+	for r := 0; r < b; r++ {
+		for c := 0; c < b; c++ {
+			s := x[r*b+c]
+			for k := 0; k < c; k++ {
+				s -= x[r*b+k] * l[c*b+k]
+			}
+			x[r*b+c] = s / l[c*b+c]
+		}
+	}
+}
+
+// syrkKernel computes C -= A·Aᵀ on the lower triangle (diagonal tile
+// update).
+func syrkKernel(a, c []float64, b int) {
+	for r := 0; r < b; r++ {
+		for cc := 0; cc <= r; cc++ {
+			s := 0.0
+			for k := 0; k < b; k++ {
+				s += a[r*b+k] * a[cc*b+k]
+			}
+			c[r*b+cc] -= s
+		}
+	}
+}
+
+// gemmKernel computes C -= A·Bᵀ (off-diagonal tile update).
+func gemmKernel(a, bm, c []float64, b int) {
+	for r := 0; r < b; r++ {
+		for cc := 0; cc < b; cc++ {
+			s := 0.0
+			for k := 0; k < b; k++ {
+				s += a[r*b+k] * bm[cc*b+k]
+			}
+			c[r*b+cc] -= s
+		}
+	}
+}
+
+// CholeskyWithKernels builds the Cholesky graph with real payloads
+// attached, fills it with a random SPD matrix, and returns the graph
+// plus a verifier that checks L·Lᵀ against the original matrix to the
+// given tolerance after the graph has executed.
+func CholeskyWithKernels(p Params, seed int64) (*runtime.Graph, func(tol float64) error) {
+	p.Kernels = true
+	g := Cholesky(p)
+	// Recover the tile slices through the handles (TileMatrix registers
+	// them row-major from handle 0), fill the SPD input, and snapshot it
+	// for verification.
+	tiles := make([][][]float64, p.Tiles)
+	for i := range tiles {
+		tiles[i] = make([][]float64, p.Tiles)
+	}
+	idx := 0
+	for i := 0; i < p.Tiles; i++ {
+		for j := 0; j < p.Tiles; j++ {
+			h := g.Handles[idx]
+			idx++
+			if h.Payload != nil {
+				tiles[i][j] = *(h.Payload.(*[]float64))
+			}
+		}
+	}
+	payload := &choleskyPayload{b: p.TileSize, tiles: tiles}
+	payload.FillSPD(seed)
+
+	// Snapshot the input for verification.
+	n := p.Tiles * p.TileSize
+	orig := make([]float64, n*n)
+	b := p.TileSize
+	for i := 0; i < p.Tiles; i++ {
+		for j := 0; j <= i; j++ {
+			t := tiles[i][j]
+			for r := 0; r < b; r++ {
+				copy(orig[(i*b+r)*n+j*b:(i*b+r)*n+j*b+b], t[r*b:(r+1)*b])
+			}
+		}
+	}
+
+	verify := func(tol float64) error {
+		// Assemble L and check L·Lᵀ == orig (lower part).
+		lf := make([]float64, n*n)
+		for i := 0; i < p.Tiles; i++ {
+			for j := 0; j <= i; j++ {
+				t := tiles[i][j]
+				for r := 0; r < b; r++ {
+					copy(lf[(i*b+r)*n+j*b:(i*b+r)*n+j*b+b], t[r*b:(r+1)*b])
+				}
+			}
+		}
+		var maxErr float64
+		for r := 0; r < n; r++ {
+			for c := 0; c <= r; c++ {
+				s := 0.0
+				for k := 0; k <= c; k++ {
+					s += lf[r*n+k] * lf[c*n+k]
+				}
+				if e := math.Abs(s - orig[r*n+c]); e > maxErr {
+					maxErr = e
+				}
+			}
+		}
+		if maxErr > tol {
+			return fmt.Errorf("dense: Cholesky residual %g exceeds tolerance %g", maxErr, tol)
+		}
+		return nil
+	}
+	return g, verify
+}

@@ -1,0 +1,159 @@
+// Package dense generates the task graphs of tiled dense linear algebra
+// routines — Cholesky (potrf), LU without pivoting (getrf) and QR
+// (geqrf) — standing in for the CHAMELEON library used in the paper's
+// Section VI-A. The DAG shapes, kernel mixes, data access modes and
+// expert priorities match the classic tile algorithms (PLASMA/CHAMELEON
+// right-looking variants).
+//
+// Kernel execution times follow a calibrated roofline-style model:
+// flops divided by the architecture peak scaled with a per-kernel
+// efficiency, where GPU efficiency additionally saturates with tile
+// size (small tiles underutilize the device, the reason the paper
+// sweeps tile sizes per platform).
+package dense
+
+import (
+	"fmt"
+
+	"multiprio/internal/platform"
+	"multiprio/internal/runtime"
+)
+
+// Params configures one dense factorization DAG.
+type Params struct {
+	// Tiles is the matrix order in tiles (T×T tiles).
+	Tiles int
+	// TileSize is the tile order b (the matrix order is Tiles*TileSize).
+	TileSize int
+	// Machine provides the per-architecture peak rates of the cost
+	// model.
+	Machine *platform.Machine
+	// UserPriorities emulates CHAMELEON's expert-tuned static task
+	// priorities (consumed by the dmdas scheduler): bottom-level ranks
+	// computed on the DAG.
+	UserPriorities bool
+	// Kernels attaches real Go compute kernels and tile payloads so the
+	// graph can run on the threaded engine (Cholesky only).
+	Kernels bool
+}
+
+func (p Params) validate(routine string) {
+	if p.Tiles < 1 || p.TileSize < 1 {
+		panic(fmt.Sprintf("dense: %s with %d tiles of %d", routine, p.Tiles, p.TileSize))
+	}
+	if p.Machine == nil {
+		panic("dense: nil machine")
+	}
+}
+
+// kernelEff holds the efficiency of one kernel relative to arch peak.
+type kernelEff struct {
+	cpu float64
+	// gpu is the asymptotic GPU efficiency; gpuHalf is the tile size at
+	// which the GPU reaches half of it (saturation model
+	// eff(b) = gpu * b² / (b² + gpuHalf²)).
+	gpu     float64
+	gpuHalf float64
+}
+
+// efficiencies per kernel. CPU panel factorizations vectorize poorly;
+// GPU panel kernels are dramatically inefficient (sequential dependency
+// chains), which is what makes the scheduling problem heterogeneous:
+// update kernels (gemm, syrk, tsmqr) want the GPU, panel kernels (potrf,
+// getrf, geqrt) want the CPU unless tiles are huge.
+var kernelTable = map[string]kernelEff{
+	"potrf": {cpu: 0.45, gpu: 0.04, gpuHalf: 4000},
+	"trsm":  {cpu: 0.75, gpu: 0.55, gpuHalf: 700},
+	"syrk":  {cpu: 0.85, gpu: 0.85, gpuHalf: 550},
+	"gemm":  {cpu: 0.90, gpu: 0.95, gpuHalf: 500},
+	"getrf": {cpu: 0.50, gpu: 0.04, gpuHalf: 4200},
+	"geqrt": {cpu: 0.40, gpu: 0.03, gpuHalf: 4500},
+	"unmqr": {cpu: 0.70, gpu: 0.60, gpuHalf: 650},
+	"tsqrt": {cpu: 0.40, gpu: 0.03, gpuHalf: 4500},
+	"tsmqr": {cpu: 0.75, gpu: 0.80, gpuHalf: 600},
+}
+
+// flopCount returns the double-precision operation count of one kernel
+// instance on b×b tiles.
+func flopCount(kind string, b float64) float64 {
+	switch kind {
+	case "potrf":
+		return b * b * b / 3
+	case "trsm":
+		return b * b * b
+	case "syrk":
+		return b * b * b
+	case "gemm":
+		return 2 * b * b * b
+	case "getrf":
+		return 2 * b * b * b / 3
+	case "geqrt":
+		return 4 * b * b * b / 3
+	case "unmqr":
+		return 2 * b * b * b
+	case "tsqrt":
+		return 10 * b * b * b / 3
+	case "tsmqr":
+		return 4 * b * b * b
+	default:
+		panic("dense: unknown kernel " + kind)
+	}
+}
+
+// Cost returns the per-architecture reference execution times (seconds)
+// of one kernel instance, for use as Task.Cost.
+func Cost(m *platform.Machine, kind string, tileSize int) []float64 {
+	eff, ok := kernelTable[kind]
+	if !ok {
+		panic("dense: unknown kernel " + kind)
+	}
+	b := float64(tileSize)
+	flops := flopCount(kind, b)
+	cost := make([]float64, len(m.Archs))
+	for a := range m.Archs {
+		peak := m.Archs[a].PeakGFlops * 1e9
+		var e float64
+		if platform.ArchID(a) == platform.ArchGPU {
+			e = eff.gpu * (b * b) / (b*b + eff.gpuHalf*eff.gpuHalf)
+		} else {
+			e = eff.cpu
+		}
+		if e <= 0 || peak <= 0 {
+			cost[a] = 0 // no implementation
+			continue
+		}
+		cost[a] = flops / (peak * e)
+	}
+	return cost
+}
+
+// tileBytes is the payload size of one b×b float64 tile.
+func tileBytes(b int) int64 { return int64(b) * int64(b) * 8 }
+
+// newTask assembles a dense kernel task.
+func newTask(p Params, kind string, accesses []runtime.Access, tag any) *runtime.Task {
+	b := float64(p.TileSize)
+	return &runtime.Task{
+		Kind:      kind,
+		Footprint: uint64(p.TileSize),
+		Flops:     flopCount(kind, b),
+		Cost:      Cost(p.Machine, kind, p.TileSize),
+		Accesses:  accesses,
+		Tag:       tag,
+	}
+}
+
+// TileMatrix registers the T×T handle grid of a dense matrix.
+func TileMatrix(g *runtime.Graph, name string, tiles, tileSize int) [][]*runtime.DataHandle {
+	grid := make([][]*runtime.DataHandle, tiles)
+	for i := range grid {
+		grid[i] = make([]*runtime.DataHandle, tiles)
+		for j := range grid[i] {
+			grid[i][j] = g.NewData(fmt.Sprintf("%s[%d][%d]", name, i, j), tileBytes(tileSize))
+		}
+	}
+	return grid
+}
+
+// MatrixOrder returns the scalar matrix order of the parameters.
+func (p Params) MatrixOrder() int { return p.Tiles * p.TileSize }

@@ -1,0 +1,62 @@
+package dense
+
+import "multiprio/internal/runtime"
+
+// QR builds the task graph of the tiled QR factorization (geqrf) using
+// the flat-tree TS (triangle-on-top-of-square) kernels of
+// PLASMA/CHAMELEON: GEQRT on the diagonal, UNMQR across the row, TSQRT
+// down the panel, TSMQR on the trailing submatrix. This is the geqrf
+// workload of the paper's Fig. 5.
+//
+// Extra T×T handles store the per-tile triangular reflector factors.
+func QR(p Params) *runtime.Graph {
+	p.validate("geqrf")
+	g := runtime.NewGraph()
+	a := TileMatrix(g, "A", p.Tiles, p.TileSize)
+	tf := TileMatrix(g, "T", p.Tiles, p.TileSize)
+
+	for k := 0; k < p.Tiles; k++ {
+		g.Submit(newTask(p, "geqrt", []runtime.Access{
+			{Handle: a[k][k], Mode: runtime.RW},
+			{Handle: tf[k][k], Mode: runtime.W},
+		}, TileCoord{K: k, I: k, J: k}))
+
+		for j := k + 1; j < p.Tiles; j++ {
+			g.Submit(newTask(p, "unmqr", []runtime.Access{
+				{Handle: a[k][k], Mode: runtime.R},
+				{Handle: tf[k][k], Mode: runtime.R},
+				{Handle: a[k][j], Mode: runtime.RW},
+			}, TileCoord{K: k, I: k, J: j}))
+		}
+		for i := k + 1; i < p.Tiles; i++ {
+			g.Submit(newTask(p, "tsqrt", []runtime.Access{
+				{Handle: a[k][k], Mode: runtime.RW},
+				{Handle: a[i][k], Mode: runtime.RW},
+				{Handle: tf[i][k], Mode: runtime.W},
+			}, TileCoord{K: k, I: i, J: k}))
+			for j := k + 1; j < p.Tiles; j++ {
+				g.Submit(newTask(p, "tsmqr", []runtime.Access{
+					{Handle: a[i][k], Mode: runtime.R},
+					{Handle: tf[i][k], Mode: runtime.R},
+					{Handle: a[k][j], Mode: runtime.RW},
+					{Handle: a[i][j], Mode: runtime.RW},
+				}, TileCoord{K: k, I: i, J: j}))
+			}
+		}
+	}
+	if p.UserPriorities {
+		AssignBottomLevelPriorities(g)
+	}
+	return g
+}
+
+// QRTaskCount returns the task count of a T-tile TS-QR.
+func QRTaskCount(tiles int) int {
+	t := tiles
+	n := 0
+	for k := 0; k < t; k++ {
+		r := t - k - 1
+		n += 1 + r + r + r*r
+	}
+	return n
+}

@@ -1,0 +1,111 @@
+// Package randdag generates layered random task graphs in the spirit of
+// the STG benchmark suite (Tobita & Kasahara): configurable width,
+// depth, edge density, architecture-affinity mix and granularity
+// spread. The paper's applications cover three structured DAG families;
+// random graphs complement them as a robustness check — a scheduler
+// that only wins on structured DAGs has overfit.
+package randdag
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"multiprio/internal/platform"
+	"multiprio/internal/runtime"
+)
+
+// Params configures one random DAG.
+type Params struct {
+	// Layers and Width shape the graph: Width tasks per layer.
+	Layers, Width int
+	// EdgeProb is the probability of a dependency from a task to each
+	// task of the next layer (via shared data handles). Defaults 0.25.
+	EdgeProb float64
+	// GPUShare is the fraction of tasks with a (strongly accelerated)
+	// GPU implementation; the rest are CPU-only. Defaults 0.5.
+	GPUShare float64
+	// GranularitySpread is the ratio between the largest and smallest
+	// task costs (log-uniform). Defaults 10.
+	GranularitySpread float64
+	// MeanCost is the average CPU execution time in seconds. Defaults
+	// 5 ms.
+	MeanCost float64
+	Machine  *platform.Machine
+	Seed     int64
+}
+
+func (p Params) defaults() Params {
+	if p.EdgeProb <= 0 {
+		p.EdgeProb = 0.25
+	}
+	if p.GPUShare < 0 {
+		p.GPUShare = 0
+	} else if p.GPUShare == 0 {
+		p.GPUShare = 0.5
+	}
+	if p.GranularitySpread < 1 {
+		p.GranularitySpread = 10
+	}
+	if p.MeanCost <= 0 {
+		p.MeanCost = 5e-3
+	}
+	return p
+}
+
+// Build generates the graph. Deterministic per seed.
+func Build(p Params) *runtime.Graph {
+	if p.Machine == nil {
+		panic("randdag: nil machine")
+	}
+	if p.Layers < 1 || p.Width < 1 {
+		panic(fmt.Sprintf("randdag: %d layers x %d width", p.Layers, p.Width))
+	}
+	p = p.defaults()
+	rng := rand.New(rand.NewSource(p.Seed))
+	g := runtime.NewGraph()
+
+	// One output handle per task; an edge is expressed as the consumer
+	// reading the producer's output.
+	outs := make([][]*runtime.DataHandle, p.Layers)
+	for l := range outs {
+		outs[l] = make([]*runtime.DataHandle, p.Width)
+		for i := range outs[l] {
+			outs[l][i] = g.NewData(fmt.Sprintf("d%d.%d", l, i), int64(rng.Intn(1<<20)+4096))
+		}
+	}
+
+	spreadLog := math.Log(p.GranularitySpread)
+	for l := 0; l < p.Layers; l++ {
+		for i := 0; i < p.Width; i++ {
+			// Log-uniform cost in [mean/sqrt(spread), mean*sqrt(spread)].
+			f := math.Exp((rng.Float64() - 0.5) * spreadLog)
+			cpu := p.MeanCost * f
+			cost := make([]float64, len(p.Machine.Archs))
+			cost[platform.ArchCPU] = cpu
+			kind := "host"
+			if int(platform.ArchGPU) < len(p.Machine.Archs) && rng.Float64() < p.GPUShare {
+				// 10-40x accelerated, plus a launch floor.
+				cost[platform.ArchGPU] = cpu/(10+30*rng.Float64()) + 1e-5
+				kind = "accel"
+			}
+			acc := []runtime.Access{{Handle: outs[l][i], Mode: runtime.W}}
+			if l > 0 {
+				for j := 0; j < p.Width; j++ {
+					if rng.Float64() < p.EdgeProb {
+						acc = append(acc, runtime.Access{Handle: outs[l-1][j], Mode: runtime.R})
+					}
+				}
+			}
+			g.Submit(&runtime.Task{
+				Kind:      kind,
+				Footprint: uint64(10 * math.Round(cpu*1e4)), // bucketed by size
+				Flops:     cpu * 1e9,
+				Cost:      cost,
+				Accesses:  acc,
+				Priority:  rng.Intn(100),
+			})
+		}
+	}
+	return g
+}

@@ -1,0 +1,54 @@
+// Package sparseqr generates the task graphs of a multifrontal sparse QR
+// factorization, standing in for QR_MUMPS in the paper's Section VI-C.
+//
+// The real solver turns a sparse matrix (ordered with METIS) into an
+// assembly tree of dense fronts; each front is partitioned into
+// block-column panels factorized with QR kernels, children assemble
+// their contribution blocks into their parent, and the resulting DAG is
+// highly irregular: task granularities span orders of magnitude, small
+// fronts near the leaves want CPUs, large panels near the root want
+// GPUs (Agullo, Buttari, Guermouche, Lopez — HiPC 2015).
+//
+// Since the SuiteSparse matrices and METIS are out of scope, the
+// generator synthesizes assembly trees that reproduce the published
+// per-matrix statistics of the paper's Fig. 7 — rows, columns, nonzeros
+// and, most importantly, the operation count, which is matched to a few
+// percent by rescaling front dimensions. The irregularity profile
+// (front-size distribution skew, tree depth) is what stresses the
+// schedulers, and it is preserved.
+package sparseqr
+
+// MatrixStats records one row of the paper's Fig. 7 table.
+type MatrixStats struct {
+	Name     string
+	Rows     int
+	Cols     int
+	Nonzeros int
+	// OpCount is the factorization operation count in Gflop.
+	OpCount float64
+}
+
+// Matrices is the evaluation set of the paper's Fig. 7, in published
+// order (sorted by Gflop count as printed).
+var Matrices = []MatrixStats{
+	{Name: "cat_ears_4_4", Rows: 19020, Cols: 44448, Nonzeros: 132888, OpCount: 236},
+	{Name: "flower_7_4", Rows: 27693, Cols: 67593, Nonzeros: 202218, OpCount: 889},
+	{Name: "e18", Rows: 24617, Cols: 38602, Nonzeros: 156466, OpCount: 1439},
+	{Name: "flower_8_4", Rows: 55081, Cols: 125361, Nonzeros: 375266, OpCount: 3072},
+	{Name: "Rucci1", Rows: 1977885, Cols: 109900, Nonzeros: 7791168, OpCount: 5527},
+	{Name: "TF17", Rows: 38132, Cols: 48630, Nonzeros: 586218, OpCount: 15787},
+	{Name: "neos2", Rows: 132568, Cols: 134128, Nonzeros: 685087, OpCount: 31018},
+	{Name: "GL7d24", Rows: 21074, Cols: 105054, Nonzeros: 593892, OpCount: 26825},
+	{Name: "TF18", Rows: 95368, Cols: 123867, Nonzeros: 1597545, OpCount: 229042},
+	{Name: "mk13-b5", Rows: 135135, Cols: 270270, Nonzeros: 810810, OpCount: 352413},
+}
+
+// ByName returns the stats of a matrix from the evaluation set.
+func ByName(name string) (MatrixStats, bool) {
+	for _, m := range Matrices {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return MatrixStats{}, false
+}

@@ -1,0 +1,170 @@
+package sparseqr
+
+import (
+	"hash/fnv"
+	"math"
+	"math/rand"
+)
+
+// Front is one dense frontal matrix of the assembly tree.
+type Front struct {
+	ID int
+	// Rows and Cols are the dense dimensions m_f × n_f (m_f >= n_f is
+	// not required for QR but typical away from the root).
+	Rows, Cols int
+	Parent     int // -1 at roots
+	Children   []int
+	Depth      int
+}
+
+// Tree is a synthetic assembly tree.
+type Tree struct {
+	Fronts []Front
+	Roots  []int
+	Stats  MatrixStats
+}
+
+// frontFlops returns the QR operation count of an m×n front:
+// 2·n²·(m − n/3) for m ≥ n, and 2·m²·(n − m/3) transposed otherwise.
+func frontFlops(m, n int) float64 {
+	fm, fn := float64(m), float64(n)
+	if fm >= fn {
+		return 2 * fn * fn * (fm - fn/3)
+	}
+	return 2 * fm * fm * (fn - fm/3)
+}
+
+// TotalFlops sums the front operation counts.
+func (t *Tree) TotalFlops() float64 {
+	var sum float64
+	for i := range t.Fronts {
+		sum += frontFlops(t.Fronts[i].Rows, t.Fronts[i].Cols)
+	}
+	return sum
+}
+
+// BuildTree synthesizes the assembly tree of a matrix from its published
+// statistics. Deterministic per matrix name.
+//
+// Construction: a random forest biased towards deep, unbalanced trees;
+// column counts drawn from a heavy-tailed distribution and sorted so
+// small fronts sit at the leaves and large fronts at the roots (the
+// multifrontal norm: fronts grow towards the root as eliminated columns
+// accumulate fill); row excess factors derived from the matrix aspect
+// ratio. Finally all dimensions are rescaled so the total operation
+// count matches the published Gflop figure.
+func BuildTree(stats MatrixStats) *Tree {
+	h := fnv.New64a()
+	h.Write([]byte(stats.Name))
+	rng := rand.New(rand.NewSource(int64(h.Sum64())))
+
+	// Front count: multifrontal trees have many small fronts near the
+	// leaves and few large ones at the roots; enough fronts for real
+	// tree parallelism and plenty of CPU-sized tasks, capped to keep
+	// task counts tractable.
+	nf := stats.Cols / 60
+	if nf < 60 {
+		nf = 60
+	}
+	if nf > 3000 {
+		nf = 3000
+	}
+
+	t := &Tree{Stats: stats}
+	t.Fronts = make([]Front, nf)
+
+	// Front widths: lognormal spread (small fronts dominate in count,
+	// large ones in work, none single-handedly dominating), sorted
+	// ascending so the biggest fronts sit nearest the roots — the shape
+	// of METIS nested-dissection assembly trees.
+	cols := make([]float64, nf)
+	var colSum float64
+	for i := range cols {
+		cols[i] = math.Exp(rng.NormFloat64() * 1.1)
+		colSum += cols[i]
+	}
+	sortFloats(cols)
+	scaleCols := float64(stats.Cols) / colSum
+	aspect := float64(stats.Rows) / float64(stats.Cols)
+
+	for i := range t.Fronts {
+		c := int(cols[i]*scaleCols) + 8
+		// Row excess: leaves carry the original matrix rows (large for
+		// overdetermined matrices), roots are squarer.
+		excess := 1.2 + rng.Float64()*2*math.Max(0.3, math.Min(aspect, 6))
+		r := int(float64(c) * excess)
+		t.Fronts[i] = Front{ID: i, Rows: r, Cols: c, Parent: -1}
+	}
+
+	// Parent assignment: front i attaches to a uniformly chosen
+	// larger-indexed front. Expected depth is O(log nf) with wide
+	// fan-ins — shallow bushy trees with abundant tree-level
+	// parallelism, as nested dissection produces.
+	for i := 0; i < nf-1; i++ {
+		p := i + 1 + rng.Intn(nf-i-1)
+		t.Fronts[i].Parent = p
+		t.Fronts[p].Children = append(t.Fronts[p].Children, i)
+	}
+	for i := range t.Fronts {
+		if t.Fronts[i].Parent == -1 {
+			t.Roots = append(t.Roots, i)
+		}
+	}
+	computeDepths(t)
+
+	// Rescale dimensions to hit the published op count. Flops scale
+	// cubically with uniform dimension scaling; two rounds absorb the
+	// rounding error.
+	target := stats.OpCount * 1e9
+	for round := 0; round < 3; round++ {
+		cur := t.TotalFlops()
+		if cur <= 0 {
+			break
+		}
+		s := math.Cbrt(target / cur)
+		for i := range t.Fronts {
+			f := &t.Fronts[i]
+			f.Rows = maxInt(8, int(float64(f.Rows)*s))
+			f.Cols = maxInt(8, int(float64(f.Cols)*s))
+		}
+	}
+	return t
+}
+
+func computeDepths(t *Tree) {
+	// Fronts are ordered so parents have larger indices; sweep from the
+	// roots downward.
+	for i := len(t.Fronts) - 1; i >= 0; i-- {
+		f := &t.Fronts[i]
+		if f.Parent >= 0 {
+			f.Depth = t.Fronts[f.Parent].Depth + 1
+		}
+	}
+}
+
+func sortFloats(x []float64) {
+	// Small n; insertion sort keeps the package dependency-light.
+	for i := 1; i < len(x); i++ {
+		v := x[i]
+		j := i - 1
+		for j >= 0 && x[j] > v {
+			x[j+1] = x[j]
+			j--
+		}
+		x[j+1] = v
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,484 @@
+// Package core implements MultiPrio, the dynamic task scheduler with
+// multiple priorities for heterogeneous computing systems introduced by
+// Tayeb, Bramas, Faverge and Guermouche (IPPS 2024).
+//
+// MultiPrio keeps one binary max-heap of ready tasks per memory node
+// (Section III-B). When a task becomes ready (PUSH, Algorithm 1) it is
+// scored once per eligible architecture with two heuristics — the gain
+// heuristic (Eq. 1, primary key) and the NOD criticality heuristic
+// (Eq. 2, tie-break) — and inserted into every heap whose processing
+// units can execute it. When a worker idles (POP, Algorithm 2) it takes
+// the most data-local task among the top candidates of its node's heap
+// (LS_SDH², Eq. 3), subject to the pop condition: the worker is the
+// fastest architecture for the task, or the fastest architecture has
+// enough remaining work queued (best_remaining_work) that letting a
+// slower worker proceed helps the makespan. A failed condition evicts
+// the task from this node's heap — duplicates in other heaps survive —
+// which is the mechanism that removes end-of-DAG accelerator idle time
+// (Section V-D, Fig. 4).
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"multiprio/internal/heap"
+	"multiprio/internal/platform"
+	"multiprio/internal/runtime"
+)
+
+// Config tunes MultiPrio. The zero value plus Defaults() reproduces the
+// paper's evaluation settings; the Disable* switches drive the ablation
+// studies of DESIGN.md §5.
+type Config struct {
+	// LocalityWindow is n, the number of top heap candidates examined
+	// by the locality-aware POP. Paper: n = 10.
+	LocalityWindow int
+	// Epsilon is the maximum normalized score distance from the heap
+	// head for a candidate to stay eligible. Paper: ε = 0.8.
+	Epsilon float64
+	// MaxTries bounds the evict-and-retry loop of Algorithm 2.
+	MaxTries int
+	// DisableEviction makes the pop condition always true (the "without
+	// eviction mechanism" configuration of Fig. 4).
+	DisableEviction bool
+	// DisableCriticality drops the NOD tie-break (gain-only ordering).
+	DisableCriticality bool
+	// DisableLocality makes POP take the heap head directly (n = 1).
+	DisableLocality bool
+	// FlatGain replaces Eq. 1 with a plain speedup ratio, the ablation
+	// for the gain heuristic's normalization.
+	FlatGain bool
+}
+
+// Defaults returns the paper's evaluation configuration (Section VI:
+// n = 10, ε = 0.8).
+func Defaults() Config {
+	return Config{LocalityWindow: 10, Epsilon: 0.8, MaxTries: 4}
+}
+
+func (c Config) normalized() Config {
+	if c.LocalityWindow <= 0 {
+		c.LocalityWindow = 10
+	}
+	if c.Epsilon <= 0 {
+		c.Epsilon = 0.8
+	}
+	if c.MaxTries <= 0 {
+		c.MaxTries = 4
+	}
+	if c.DisableLocality {
+		c.LocalityWindow = 1
+	}
+	return c
+}
+
+// taskState is MultiPrio's per-task scratch, stored in Task.SchedData.
+type taskState struct {
+	// members is a bitmask of memory nodes whose heap holds the task.
+	members uint64
+	// bestArch is the fastest eligible architecture at push time; the
+	// best_remaining_work accounting must add and subtract the same
+	// δ(t, bestArch), so it is frozen here.
+	bestArch  platform.ArchID
+	bestDelta float64
+}
+
+// Sched is the MultiPrio scheduler. Create with New; safe for concurrent
+// use by the threaded engine (one global mutex guards the heap set, as
+// the heaps are cheap and the number of memory nodes small).
+type Sched struct {
+	cfg Config
+
+	mu    sync.Mutex
+	env   *runtime.Env
+	heaps []*heap.Heap            // one per memory node
+	byID  map[int64]*runtime.Task // heap item id -> task
+
+	// readyCount[m] is the number of ready tasks in heap m.
+	readyCount []int
+	// bestRemaining[m] is the summed δ(t, bestArch) of ready tasks
+	// whose fastest architecture is the one tied to m (Algorithm 1).
+	bestRemaining []float64
+	// hd[a] is the highest execution-time difference recorded so far
+	// on architecture a (the normalizer of Eq. 1).
+	hd []float64
+	// maxNOD is the running maximum of raw NOD values (normalizer of
+	// the criticality score).
+	maxNOD float64
+
+	// Evictions counts pop-condition failures (observability).
+	Evictions int64
+
+	topBuf []int64
+}
+
+// New returns a MultiPrio scheduler with the given configuration.
+func New(cfg Config) *Sched {
+	return &Sched{cfg: cfg.normalized()}
+}
+
+// Name implements runtime.Scheduler.
+func (s *Sched) Name() string { return "multiprio" }
+
+// Init implements runtime.Scheduler.
+func (s *Sched) Init(env *runtime.Env) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(env.Machine.Mems) > 64 {
+		panic("multiprio: more than 64 memory nodes unsupported")
+	}
+	s.env = env
+	s.heaps = make([]*heap.Heap, len(env.Machine.Mems))
+	for i := range s.heaps {
+		s.heaps[i] = heap.New(256)
+	}
+	s.byID = make(map[int64]*runtime.Task, 1024)
+	s.readyCount = make([]int, len(env.Machine.Mems))
+	s.bestRemaining = make([]float64, len(env.Machine.Mems))
+	s.hd = make([]float64, len(env.Machine.Archs))
+	s.maxNOD = 0
+	s.Evictions = 0
+}
+
+// Push implements runtime.Scheduler (Algorithm 1). The task is scored
+// and inserted into the heap of every memory node whose architecture can
+// execute it.
+func (s *Sched) Push(t *runtime.Task) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	m := s.env.Machine
+	bestArch, bestDelta, ok := s.env.BestArch(t)
+	if !ok {
+		panic(fmt.Sprintf("multiprio: task %d (%s) runs on no available architecture", t.ID, t.Kind))
+	}
+	st := &taskState{bestArch: bestArch, bestDelta: bestDelta}
+	t.SchedData = st
+
+	s.updateHD(t)
+
+	inserted := false
+	for mem := range m.Mems {
+		memID := platform.MemID(mem)
+		a := m.MemArch(memID)
+		if !t.CanRun(a) || m.NumWorkersOf(a) == 0 {
+			continue
+		}
+		gain := s.gain(t, a)
+		prio := 0.0
+		if !s.cfg.DisableCriticality {
+			prio = s.criticality(t, a)
+		}
+		s.readyCount[mem]++
+		if a == bestArch {
+			s.bestRemaining[mem] += bestDelta
+		}
+		s.heaps[mem].Push(t.ID, heap.Score{Primary: gain, Secondary: prio})
+		st.members |= 1 << uint(mem)
+		inserted = true
+	}
+	if !inserted {
+		panic(fmt.Sprintf("multiprio: task %d (%s) inserted into no heap", t.ID, t.Kind))
+	}
+	s.byID[t.ID] = t
+}
+
+// Pop implements runtime.Scheduler (Algorithm 2).
+func (s *Sched) Pop(w runtime.WorkerInfo) *runtime.Task {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	for tries := 0; tries <= s.cfg.MaxTries; tries++ {
+		t := s.mostLocalPrioTask(w.Mem)
+		if t == nil {
+			return nil
+		}
+		if s.popCondition(t, w) {
+			s.claim(t)
+			return t
+		}
+		// Evict from this node's heap; duplicates elsewhere survive.
+		// The last live copy is never evicted: the pop condition is
+		// always true on the best architecture's own nodes, and
+		// estimate drift could otherwise strand a task.
+		st := t.SchedData.(*taskState)
+		if popcount(st.members) <= 1 {
+			return nil
+		}
+		s.heaps[w.Mem].Remove(t.ID)
+		st.members &^= 1 << uint(w.Mem)
+		s.readyCount[w.Mem]--
+		s.Evictions++
+	}
+	return nil
+}
+
+// TaskDone implements runtime.Scheduler.
+func (s *Sched) TaskDone(t *runtime.Task, w runtime.WorkerInfo) {}
+
+// claim removes the task from every heap. Under the global lock this is
+// equivalent to the paper's lazy duplicate removal (stale duplicates are
+// recognized and dropped at the next pop) but keeps the ready counters
+// and the top-n locality scans exact.
+func (s *Sched) claim(t *runtime.Task) {
+	if !t.TryClaim() {
+		panic(fmt.Sprintf("multiprio: task %d double-claimed", t.ID))
+	}
+	st := t.SchedData.(*taskState)
+	for mem := range s.heaps {
+		if st.members&(1<<uint(mem)) == 0 {
+			continue
+		}
+		s.heaps[mem].Remove(t.ID)
+		s.readyCount[mem]--
+		if s.env.Machine.MemArch(platform.MemID(mem)) == st.bestArch {
+			s.bestRemaining[mem] -= st.bestDelta
+			if s.bestRemaining[mem] < 0 {
+				s.bestRemaining[mem] = 0
+			}
+		}
+	}
+	st.members = 0
+	delete(s.byID, t.ID)
+}
+
+// mostLocalPrioTask returns the candidate the POP operation should
+// consider on memory node mem: the most data-local task among the top-n
+// heap entries whose primary score is within ε of the head (Section
+// V-C). The heap is left untouched.
+func (s *Sched) mostLocalPrioTask(mem platform.MemID) *runtime.Task {
+	h := s.heaps[mem]
+	if h.Len() == 0 {
+		return nil
+	}
+	if s.cfg.LocalityWindow == 1 {
+		id, _, _ := h.Peek()
+		return s.byID[id]
+	}
+	s.topBuf = h.TopN(s.topBuf[:0], s.cfg.LocalityWindow)
+	if len(s.topBuf) == 0 {
+		return nil
+	}
+	head := s.byID[s.topBuf[0]]
+	if s.missingBytes(head, mem) == 0 {
+		// The head is already fully local: reordering can only hurt
+		// (on the RAM node, where every handle is resident, LS_SDH²
+		// would otherwise degenerate into sorting by data size).
+		return head
+	}
+	headScore, _ := h.Score(s.topBuf[0])
+	best := head
+	bestLoc := s.env.LSSDH2(best, mem)
+	for _, id := range s.topBuf[1:] {
+		sc, ok := h.Score(id)
+		if !ok || headScore.Primary-sc.Primary > s.cfg.Epsilon {
+			continue
+		}
+		t := s.byID[id]
+		if t == nil {
+			continue
+		}
+		if loc := s.env.LSSDH2(t, mem); loc > bestLoc {
+			best, bestLoc = t, loc
+		}
+	}
+	return best
+}
+
+// missingBytes sums the sizes of t's read data not resident on mem.
+func (s *Sched) missingBytes(t *runtime.Task, mem platform.MemID) int64 {
+	if s.env.Locator == nil {
+		return 0
+	}
+	var sum int64
+	for _, a := range t.Accesses {
+		if a.Mode == runtime.W {
+			continue
+		}
+		if !s.env.Locator.IsResident(a.Handle, mem) {
+			sum += a.Handle.Bytes
+		}
+	}
+	return sum
+}
+
+// popCondition decides whether the worker should take the task now
+// (Section V-D): yes when the worker is of the task's fastest
+// architecture, or when the best architecture's workers are busy long
+// enough that letting this slower worker proceed helps the makespan —
+// "if the best worker is sufficiently busy, we allow the task to go to
+// a slower worker to maintain progress in the DAG".
+//
+// One reading of the pseudocode is made explicit here: the stealing
+// worker's execution time includes its unit speed factor (GPU stream
+// workers share their device), so a stream worker is charged the real
+// time the steal would occupy the device slot.
+func (s *Sched) popCondition(t *runtime.Task, w runtime.WorkerInfo) bool {
+	if s.cfg.DisableEviction {
+		return true
+	}
+	st := t.SchedData.(*taskState)
+	if w.Arch == st.bestArch {
+		return true
+	}
+	minHorizon := math.Inf(1)
+	for mem := range s.env.Machine.Mems {
+		if s.env.Machine.MemArch(platform.MemID(mem)) != st.bestArch {
+			continue
+		}
+		if h := s.bestRemaining[mem]; h < minHorizon {
+			minHorizon = h
+		}
+	}
+	cost := s.env.Delta(t, w.Arch) * s.env.Machine.Units[w.ID].SpeedFactor
+	return minHorizon > cost
+}
+
+// gain computes the gain heuristic of Eq. 1 for task t on architecture
+// a, normalized to [0, 1].
+func (s *Sched) gain(t *runtime.Task, a platform.ArchID) float64 {
+	if s.cfg.FlatGain {
+		// Ablation: plain affinity ratio, 1 on the fastest arch.
+		_, bestDelta, _ := s.env.BestArch(t)
+		d := s.env.Delta(t, a)
+		if d <= 0 || math.IsInf(d, 1) {
+			return 0
+		}
+		return bestDelta / d
+	}
+	archs := s.eligibleArchs(t)
+	if len(archs) <= 1 {
+		return 1
+	}
+	bestArch, _, _ := s.env.BestArch(t)
+	_, secondDelta, _ := s.env.SecondBestArch(t)
+	da := s.env.Delta(t, a)
+	hd := s.hd[a]
+	if hd <= 0 {
+		return 0.5
+	}
+	var diff float64
+	if a == bestArch {
+		diff = secondDelta - da
+	} else {
+		_, bestDelta, _ := s.env.BestArch(t)
+		diff = bestDelta - da
+	}
+	g := (diff + hd) / (2 * hd)
+	if g < 0 {
+		return 0
+	}
+	if g > 1 {
+		return 1
+	}
+	return g
+}
+
+// updateHD refreshes the per-architecture highest execution-time
+// difference with task t, before its gain is computed (the worked
+// example of Table II includes the current task in hd).
+func (s *Sched) updateHD(t *runtime.Task) {
+	archs := s.eligibleArchs(t)
+	if len(archs) <= 1 {
+		return
+	}
+	bestArch, bestDelta, _ := s.env.BestArch(t)
+	_, secondDelta, _ := s.env.SecondBestArch(t)
+	for _, a := range archs {
+		da := s.env.Delta(t, a)
+		var diff float64
+		if a == bestArch {
+			diff = math.Abs(secondDelta - da)
+		} else {
+			diff = math.Abs(bestDelta - da)
+		}
+		if diff > s.hd[a] {
+			s.hd[a] = diff
+		}
+	}
+}
+
+// eligibleArchs lists architectures that can run t and have workers.
+func (s *Sched) eligibleArchs(t *runtime.Task) []platform.ArchID {
+	var out []platform.ArchID
+	for a := range s.env.Machine.Archs {
+		arch := platform.ArchID(a)
+		if t.CanRun(arch) && s.env.Machine.NumWorkersOf(arch) > 0 {
+			out = append(out, arch)
+		}
+	}
+	return out
+}
+
+// criticality computes the normalized NOD score of Eq. 2 for task t
+// restricted to architecture a: successors executable on a weighted by
+// the inverse of their predecessor counts on a.
+func (s *Sched) criticality(t *runtime.Task, a platform.ArchID) float64 {
+	nod := s.NOD(t, a)
+	if nod > s.maxNOD {
+		s.maxNOD = nod
+	}
+	if s.maxNOD <= 0 {
+		return 0
+	}
+	return nod / s.maxNOD
+}
+
+// Gain exposes the gain heuristic (Eq. 1) of a pushed task for reports
+// and the Table II experiment.
+func (s *Sched) Gain(t *runtime.Task, a platform.ArchID) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.gain(t, a)
+}
+
+// HD returns the current highest execution-time difference recorded on
+// architecture a (the Eq. 1 normalizer).
+func (s *Sched) HD(a platform.ArchID) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hd[a]
+}
+
+// NOD computes the raw Normalized Out-Degree of Eq. 2 on architecture a.
+// Exported for the Fig. 3 experiment and tests.
+func (s *Sched) NOD(t *runtime.Task, a platform.ArchID) float64 {
+	var nod float64
+	for _, succ := range t.Succs() {
+		if !succ.CanRun(a) {
+			continue
+		}
+		n := succ.NumPredsOn(a, s.env.Graph)
+		if n > 0 {
+			nod += 1 / float64(n)
+		}
+	}
+	return nod
+}
+
+// ReadyCount returns the current number of ready tasks queued on mem
+// (observability; Section IV-B notes the structure exposes this).
+func (s *Sched) ReadyCount(mem platform.MemID) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.readyCount[mem]
+}
+
+// BestRemainingWork returns the pending best-affinity work accounted on
+// mem, in seconds.
+func (s *Sched) BestRemainingWork(mem platform.MemID) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bestRemaining[mem]
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}

@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"multiprio/internal/apps/dense"
+	"multiprio/internal/apps/fmm"
+	"multiprio/internal/apps/sparseqr"
+	"multiprio/internal/core"
+	"multiprio/internal/platform"
+	"multiprio/internal/runtime"
+	"multiprio/internal/sim"
+)
+
+// AblationRow is one (workload, configuration) makespan.
+type AblationRow struct {
+	Workload string
+	Config   string
+	Makespan float64
+	// DeltaPct is the slowdown relative to the default configuration
+	// on the same workload (positive = this configuration is worse).
+	DeltaPct float64
+}
+
+// AblationResult benchmarks the design choices DESIGN.md §5 calls out:
+// eviction, criticality tie-break, locality-aware POP (and its n and ε
+// hyper-parameters), and the Eq. 1 gain normalization, each toggled
+// independently on three workload classes.
+type AblationResult struct {
+	Rows []AblationRow
+}
+
+// ablationConfigs enumerates the compared configurations.
+func ablationConfigs() []struct {
+	name string
+	cfg  core.Config
+} {
+	mk := func(f func(*core.Config)) core.Config {
+		c := core.Defaults()
+		f(&c)
+		return c
+	}
+	return []struct {
+		name string
+		cfg  core.Config
+	}{
+		{"default", core.Defaults()},
+		{"no-eviction", mk(func(c *core.Config) { c.DisableEviction = true })},
+		{"no-criticality", mk(func(c *core.Config) { c.DisableCriticality = true })},
+		{"no-locality", mk(func(c *core.Config) { c.DisableLocality = true })},
+		{"flat-gain", mk(func(c *core.Config) { c.FlatGain = true })},
+		{"n=3", mk(func(c *core.Config) { c.LocalityWindow = 3 })},
+		{"n=30", mk(func(c *core.Config) { c.LocalityWindow = 30 })},
+		{"eps=0.2", mk(func(c *core.Config) { c.Epsilon = 0.2 })},
+		{"tries=1", mk(func(c *core.Config) { c.MaxTries = 1 })},
+		{"tries=16", mk(func(c *core.Config) { c.MaxTries = 16 })},
+	}
+}
+
+// RunAblation executes every configuration on a dense, an FMM, and a
+// sparse workload on the Intel-V100 model.
+func RunAblation(scale Scale, progress io.Writer) (*AblationResult, error) {
+	m := platform.IntelV100(platform.Config{})
+	tiles := 24
+	particles := 120_000
+	matrix := sparseqr.Matrices[2] // e18
+	if scale == Full {
+		tiles = 40
+		particles = 400_000
+		matrix = sparseqr.Matrices[5] // TF17
+	}
+	sparseTree := sparseqr.BuildTree(matrix)
+	workloads := []struct {
+		name  string
+		build func() *runtime.Graph
+	}{
+		{"cholesky", func() *runtime.Graph {
+			return dense.Cholesky(dense.Params{Tiles: tiles, TileSize: 960, Machine: m})
+		}},
+		{"fmm", func() *runtime.Graph {
+			return fmm.Build(fmm.Params{Particles: particles, Height: 5, Machine: m, Seed: 3})
+		}},
+		{"sparseqr-" + matrix.Name, func() *runtime.Graph {
+			return sparseqr.BuildFromTree(sparseTree, sparseqr.Params{Machine: m})
+		}},
+	}
+
+	res := &AblationResult{}
+	for _, wl := range workloads {
+		var base float64
+		for _, c := range ablationConfigs() {
+			g := wl.build()
+			r, err := sim.Run(m, g, core.New(c.cfg), sim.Options{})
+			if err != nil {
+				return nil, fmt.Errorf("ablation %s %s: %w", wl.name, c.name, err)
+			}
+			row := AblationRow{Workload: wl.name, Config: c.name, Makespan: r.Makespan}
+			if c.name == "default" {
+				base = r.Makespan
+			}
+			if base > 0 {
+				row.DeltaPct = pct(r.Makespan, base)
+			}
+			res.Rows = append(res.Rows, row)
+			if progress != nil {
+				fmt.Fprintf(progress, ".")
+			}
+		}
+	}
+	if progress != nil {
+		fmt.Fprintln(progress)
+	}
+	return res, nil
+}
+
+// Print renders the ablation table.
+func (r *AblationResult) Print(w io.Writer) {
+	fmt.Fprintln(w, "Ablation: MultiPrio design choices (slowdown vs default config)")
+	fmt.Fprintf(w, "%-22s %-16s %12s %10s\n", "workload", "config", "makespan", "delta")
+	rule(w, 64)
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-22s %-16s %11.4fs %+9.1f%%\n",
+			row.Workload, row.Config, row.Makespan, row.DeltaPct)
+	}
+}

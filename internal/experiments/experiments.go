@@ -1,0 +1,138 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md §4 for the experiment index). Each driver
+// returns a structured result and renders a table in the layout of the
+// corresponding paper artifact; cmd/multiprio-bench exposes them behind
+// flags and bench_test.go wraps scaled-down variants as Go benchmarks.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"multiprio/internal/core"
+	"multiprio/internal/platform"
+	"multiprio/internal/runtime"
+	"multiprio/internal/sched/dmdas"
+	"multiprio/internal/sched/eager"
+	"multiprio/internal/sched/heteroprio"
+	"multiprio/internal/sched/lws"
+	"multiprio/internal/sched/prio"
+	"multiprio/internal/sim"
+)
+
+// Scale selects experiment sizing.
+type Scale int
+
+const (
+	// Quick runs in seconds per figure: reduced sizes, same shapes.
+	Quick Scale = iota
+	// Full approximates the paper's problem sizes (minutes per figure).
+	Full
+)
+
+// NewScheduler instantiates a policy by name. Valid names:
+// multiprio, multiprio-noevict, dmdas, dmda, dm, heteroprio, lws, eager.
+func NewScheduler(name string) (runtime.Scheduler, error) {
+	switch name {
+	case "multiprio":
+		return core.New(core.Defaults()), nil
+	case "multiprio-noevict":
+		cfg := core.Defaults()
+		cfg.DisableEviction = true
+		return core.New(cfg), nil
+	case "multiprio-nocrit":
+		cfg := core.Defaults()
+		cfg.DisableCriticality = true
+		return core.New(cfg), nil
+	case "multiprio-nolocal":
+		cfg := core.Defaults()
+		cfg.DisableLocality = true
+		return core.New(cfg), nil
+	case "multiprio-flatgain":
+		cfg := core.Defaults()
+		cfg.FlatGain = true
+		return core.New(cfg), nil
+	case "dmdas":
+		return dmdas.New(dmdas.DMDAS), nil
+	case "dmda":
+		return dmdas.New(dmdas.DMDA), nil
+	case "dmdar":
+		return dmdas.New(dmdas.DMDAR), nil
+	case "dm":
+		return dmdas.New(dmdas.DM), nil
+	case "heteroprio":
+		return heteroprio.New(), nil
+	case "lws":
+		return lws.New(), nil
+	case "prio":
+		return prio.New(), nil
+	case "eager":
+		return eager.New(), nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown scheduler %q", name)
+	}
+}
+
+// SchedulerNames lists the comparison set of the paper's Section VI.
+func SchedulerNames() []string { return []string{"multiprio", "dmdas", "heteroprio"} }
+
+// PlatformByName builds one of the two evaluation platforms.
+func PlatformByName(name string, streams int) (*platform.Machine, error) {
+	cfg := platform.Config{GPUStreams: streams}
+	switch name {
+	case "intel-v100":
+		return platform.IntelV100(cfg), nil
+	case "amd-a100":
+		return platform.AMDA100(cfg), nil
+	case "smallsim":
+		return platform.SmallSim(cfg), nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown platform %q (intel-v100, amd-a100, smallsim)", name)
+	}
+}
+
+// runOne executes graph g on m under the named scheduler and returns the
+// simulation result. The graph must be freshly built (or reset).
+func runOne(m *platform.Machine, g *runtime.Graph, schedName string, seed int64) (*sim.Result, error) {
+	s, err := NewScheduler(schedName)
+	if err != nil {
+		return nil, err
+	}
+	return sim.Run(m, g, s, sim.Options{Seed: seed})
+}
+
+// gflops converts a flop count and a runtime to GFlop/s.
+func gflops(flops, seconds float64) float64 {
+	if seconds <= 0 {
+		return 0
+	}
+	return flops / seconds / 1e9
+}
+
+// pct renders a relative difference in percent: (a-b)/b.
+func pct(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 100 * (a - b) / b
+}
+
+// sortedMapKeys returns the sorted keys of a string-keyed map for
+// deterministic table rendering.
+func sortedMapKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// rule prints a horizontal rule of width n.
+func rule(w io.Writer, n int) {
+	for i := 0; i < n; i++ {
+		fmt.Fprint(w, "-")
+	}
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"multiprio/internal/apps/fmm"
+)
+
+// Fig6Point is one (platform, streams, scheduler) FMM execution time.
+type Fig6Point struct {
+	Platform string
+	Streams  int
+	Times    map[string]float64 // scheduler -> seconds
+}
+
+// Fig6Result reproduces the paper's Fig. 6: TBFMM execution time on both
+// platforms while varying the number of GPU streams; the paper reports
+// MultiPrio achieving the shortest makespan because the disconnected
+// DAG rewards workload balancing plus per-task affinity scores.
+type Fig6Result struct {
+	Particles int
+	Height    int
+	Points    []Fig6Point
+}
+
+// RunFig6 executes the sweep.
+func RunFig6(scale Scale, progress io.Writer) (*Fig6Result, error) {
+	particles, height := 1_000_000, 6
+	if scale == Quick {
+		particles, height = 150_000, 5
+	}
+	res := &Fig6Result{Particles: particles, Height: height}
+	for _, pf := range []string{"intel-v100", "amd-a100"} {
+		for _, streams := range []int{1, 2, 4} {
+			m, err := PlatformByName(pf, streams)
+			if err != nil {
+				return nil, err
+			}
+			pt := Fig6Point{Platform: pf, Streams: streams, Times: make(map[string]float64)}
+			// The clustered ensemble: TBFMM's target workloads are
+			// non-uniform particle distributions, and per-task affinity
+			// scores only differentiate from per-type ones when task
+			// costs vary within a type.
+			p := fmm.Params{Particles: particles, Height: height, Clustered: true, Machine: m, Seed: 12}
+			tree := fmm.BuildTree(p)
+			for _, schedName := range SchedulerNames() {
+				g := fmm.BuildFromTree(p, tree)
+				r, err := runOne(m, g, schedName, 1)
+				if err != nil {
+					return nil, fmt.Errorf("fig6 %s streams=%d %s: %w", pf, streams, schedName, err)
+				}
+				pt.Times[schedName] = r.Makespan
+				if progress != nil {
+					fmt.Fprintf(progress, ".")
+				}
+			}
+			res.Points = append(res.Points, pt)
+		}
+	}
+	if progress != nil {
+		fmt.Fprintln(progress)
+	}
+	return res, nil
+}
+
+// Print renders the figure as a table of execution times.
+func (r *Fig6Result) Print(w io.Writer) {
+	fmt.Fprintf(w, "Fig. 6: TBFMM execution time (%d particles, tree height %d)\n", r.Particles, r.Height)
+	fmt.Fprintf(w, "%-12s %8s | %11s %11s %11s | best\n", "platform", "streams", "multiprio", "dmdas", "heteroprio")
+	rule(w, 72)
+	for _, p := range r.Points {
+		best, bestT := "", 0.0
+		for s, t := range p.Times {
+			if best == "" || t < bestT {
+				best, bestT = s, t
+			}
+		}
+		fmt.Fprintf(w, "%-12s %8d | %10.4fs %10.4fs %10.4fs | %s\n",
+			p.Platform, p.Streams,
+			p.Times["multiprio"], p.Times["dmdas"], p.Times["heteroprio"], best)
+	}
+	fmt.Fprintln(w, "paper: MultiPrio achieves the shortest makespan on both platforms")
+}
+
+// Wins counts the points where the scheduler has the lowest time.
+func (r *Fig6Result) Wins(sched string) int {
+	n := 0
+	for _, p := range r.Points {
+		best, bestT := "", 0.0
+		for s, t := range p.Times {
+			if best == "" || t < bestT {
+				best, bestT = s, t
+			}
+		}
+		if best == sched {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,58 @@
+package perfmodel
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"multiprio/internal/platform"
+)
+
+// persistedBucket is the JSON form of one calibrated bucket. Mean and
+// M2 suffice to restore the Welford accumulator exactly.
+type persistedBucket struct {
+	Kind      string          `json:"kind"`
+	Arch      platform.ArchID `json:"arch"`
+	Footprint uint64          `json:"footprint"`
+	N         int64           `json:"n"`
+	Mean      float64         `json:"mean"`
+	M2        float64         `json:"m2"`
+}
+
+// Save serializes the calibrated model to JSON, the counterpart of
+// StarPU's on-disk performance models (~/.starpu/sampling): calibrate
+// once on the threaded engine, reuse across runs.
+func (h *History) Save(w io.Writer) error {
+	h.mu.RLock()
+	out := make([]persistedBucket, 0, len(h.buckets))
+	for k, s := range h.buckets {
+		out = append(out, persistedBucket{
+			Kind: k.Kind, Arch: k.Arch, Footprint: k.Footprint,
+			N: s.n, Mean: s.mean, M2: s.m2,
+		})
+	}
+	h.mu.RUnlock()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}
+
+// Load restores a model saved with Save, merging into the receiver
+// (existing buckets are replaced).
+func (h *History) Load(r io.Reader) error {
+	var in []persistedBucket
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return fmt.Errorf("perfmodel: %w", err)
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, b := range in {
+		if b.N < 0 || b.Mean < 0 {
+			return fmt.Errorf("perfmodel: invalid bucket %q n=%d mean=%g", b.Kind, b.N, b.Mean)
+		}
+		h.buckets[Key{Kind: b.Kind, Arch: b.Arch, Footprint: b.Footprint}] = &stats{
+			n: b.N, mean: b.Mean, m2: b.M2,
+		}
+	}
+	return nil
+}

@@ -1,0 +1,69 @@
+package perfmodel
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"multiprio/internal/platform"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	h := NewHistory()
+	for _, v := range []float64{1, 2, 3, 4} {
+		h.Record("gemm", platform.ArchGPU, 960, v)
+	}
+	h.Record("potrf", platform.ArchCPU, 640, 0.5)
+
+	var buf bytes.Buffer
+	if err := h.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	h2 := NewHistory()
+	if err := h2.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	mean, ok := h2.Mean("gemm", platform.ArchGPU, 960)
+	if !ok || mean != 2.5 {
+		t.Errorf("restored mean = %v, %v; want 2.5", mean, ok)
+	}
+	if got, want := h2.StdDev("gemm", platform.ArchGPU, 960), h.StdDev("gemm", platform.ArchGPU, 960); math.Abs(got-want) > 1e-12 {
+		t.Errorf("restored stddev = %v, want %v", got, want)
+	}
+	if n := h2.Samples("potrf", platform.ArchCPU, 640); n != 1 {
+		t.Errorf("restored samples = %d", n)
+	}
+	// Restored models keep accumulating correctly.
+	h2.Record("gemm", platform.ArchGPU, 960, 10)
+	mean, _ = h2.Mean("gemm", platform.ArchGPU, 960)
+	if mean != 4 {
+		t.Errorf("post-load mean = %v, want 4", mean)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	h := NewHistory()
+	if err := h.Load(strings.NewReader("not json")); err == nil {
+		t.Error("Load accepted garbage")
+	}
+	if err := h.Load(strings.NewReader(`[{"kind":"k","n":-1}]`)); err == nil {
+		t.Error("Load accepted negative sample count")
+	}
+}
+
+func TestLoadMergesAndReplaces(t *testing.T) {
+	h := NewHistory()
+	h.Record("k", 0, 1, 100) // will be replaced
+	h.Record("other", 0, 1, 7)
+	if err := h.Load(strings.NewReader(`[{"kind":"k","arch":0,"footprint":1,"n":2,"mean":5,"m2":0}]`)); err != nil {
+		t.Fatal(err)
+	}
+	if mean, _ := h.Mean("k", 0, 1); mean != 5 {
+		t.Errorf("bucket not replaced: mean = %v", mean)
+	}
+	if mean, _ := h.Mean("other", 0, 1); mean != 7 {
+		t.Errorf("unrelated bucket lost: mean = %v", mean)
+	}
+}

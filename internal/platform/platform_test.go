@@ -1,0 +1,216 @@
+package platform
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestIntelV100Shape(t *testing.T) {
+	m := IntelV100(Config{})
+	if got := m.NumWorkersOf(ArchCPU); got != 30 {
+		t.Errorf("CPU workers = %d, want 30 (32 cores - 2 reserved)", got)
+	}
+	if got := m.NumWorkersOf(ArchGPU); got != 2 {
+		t.Errorf("GPU workers = %d, want 2", got)
+	}
+	if got := len(m.Mems); got != 3 {
+		t.Errorf("memory nodes = %d, want 3 (ram + 2 gpu)", got)
+	}
+	if m.Mems[1].CapacityBytes != 16*GiB {
+		t.Errorf("gpu0 capacity = %d, want 16 GiB", m.Mems[1].CapacityBytes)
+	}
+}
+
+func TestAMDA100Shape(t *testing.T) {
+	m := AMDA100(Config{GPUStreams: 4})
+	if got := m.NumWorkersOf(ArchCPU); got != 62 {
+		t.Errorf("CPU workers = %d, want 62", got)
+	}
+	if got := m.NumWorkersOf(ArchGPU); got != 8 {
+		t.Errorf("GPU workers = %d, want 8 (2 devices x 4 streams)", got)
+	}
+	// Stream workers share the device throughput.
+	gpuUnit := m.Units[m.UnitsOf(ArchGPU)[0]]
+	if gpuUnit.SpeedFactor != 4 {
+		t.Errorf("stream worker speed factor = %v, want 4", gpuUnit.SpeedFactor)
+	}
+}
+
+func TestMemArchConvention(t *testing.T) {
+	m := IntelV100(Config{})
+	if m.MemArch(MemRAM) != ArchCPU {
+		t.Error("RAM node should host CPU workers")
+	}
+	for mem := 1; mem < len(m.Mems); mem++ {
+		if m.MemArch(MemID(mem)) != ArchGPU {
+			t.Errorf("mem %d should host GPU workers", mem)
+		}
+	}
+}
+
+func TestUnitsOnPartition(t *testing.T) {
+	m := AMDA100(Config{GPUStreams: 2})
+	seen := make(map[UnitID]bool)
+	total := 0
+	for mem := range m.Mems {
+		for _, u := range m.UnitsOn(MemID(mem)) {
+			if seen[u] {
+				t.Fatalf("unit %d appears on two memory nodes", u)
+			}
+			seen[u] = true
+			if m.Units[u].Mem != MemID(mem) {
+				t.Fatalf("unit %d listed on mem %d but tied to %d", u, mem, m.Units[u].Mem)
+			}
+			total++
+		}
+	}
+	if total != len(m.Units) {
+		t.Errorf("UnitsOn covers %d units, want %d", total, len(m.Units))
+	}
+}
+
+func TestTransferTime(t *testing.T) {
+	m := IntelV100(Config{})
+	if got := m.TransferTime(0, 0, 1<<20); got != 0 {
+		t.Errorf("same-node transfer = %v, want 0", got)
+	}
+	if got := m.TransferTime(0, 1, 0); got != 0 {
+		t.Errorf("zero-byte transfer = %v, want 0", got)
+	}
+	sz := int64(12e9) // exactly one second of payload at 12 GB/s
+	got := m.TransferTime(0, 1, sz)
+	if got <= 1.0 || got > 1.001 {
+		t.Errorf("transfer of %d bytes = %v s, want 1s + latency", sz, got)
+	}
+	// GPU-to-GPU is slower than host-device.
+	if m.TransferTime(1, 2, sz) <= m.TransferTime(0, 1, sz) {
+		t.Error("GPU-to-GPU transfer should be slower than host-to-device")
+	}
+}
+
+func TestValidateRejectsBadMachines(t *testing.T) {
+	cases := []struct {
+		name string
+		m    *Machine
+		want string
+	}{
+		{
+			name: "no archs",
+			m:    &Machine{Name: "x", Mems: []MemNode{{}}, Units: []Unit{{}}},
+			want: "no architectures",
+		},
+		{
+			name: "no units",
+			m: &Machine{Name: "x", Archs: []Arch{{Name: "cpu"}},
+				Mems: []MemNode{{}}, LinkMatrix: [][]Link{{{}}}},
+			want: "no processing units",
+		},
+		{
+			name: "bad speed factor",
+			m: &Machine{Name: "x", Archs: []Arch{{Name: "cpu"}},
+				Mems:       []MemNode{{}},
+				Units:      []Unit{{Arch: 0, Mem: 0, SpeedFactor: 0}},
+				LinkMatrix: [][]Link{{{}}}},
+			want: "speed factor",
+		},
+		{
+			name: "arch out of range",
+			m: &Machine{Name: "x", Archs: []Arch{{Name: "cpu"}},
+				Mems:       []MemNode{{}},
+				Units:      []Unit{{Arch: 3, Mem: 0, SpeedFactor: 1}},
+				LinkMatrix: [][]Link{{{}}}},
+			want: "out of range",
+		},
+		{
+			name: "mixed arch on one mem node",
+			m: &Machine{Name: "x",
+				Archs: []Arch{{Name: "cpu"}, {Name: "gpu"}},
+				Mems:  []MemNode{{}},
+				Units: []Unit{
+					{Arch: 0, Mem: 0, SpeedFactor: 1},
+					{Arch: 1, Mem: 0, SpeedFactor: 1},
+				},
+				LinkMatrix: [][]Link{{{}}}},
+			want: "different architectures",
+		},
+		{
+			name: "empty memory node",
+			m: &Machine{Name: "x", Archs: []Arch{{Name: "cpu"}},
+				Mems:  []MemNode{{}, {}},
+				Units: []Unit{{Arch: 0, Mem: 0, SpeedFactor: 1}},
+				LinkMatrix: [][]Link{
+					{{}, {BandwidthBytes: 1}},
+					{{BandwidthBytes: 1}, {}},
+				}},
+			want: "no processing units",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.m.Validate()
+			if err == nil {
+				t.Fatal("Validate accepted invalid machine")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestCPUOnly(t *testing.T) {
+	m := CPUOnly(4)
+	if len(m.Units) != 4 || len(m.Mems) != 1 {
+		t.Errorf("CPUOnly(4): %d units, %d mems", len(m.Units), len(m.Mems))
+	}
+	if m2 := CPUOnly(0); len(m2.Units) != 1 {
+		t.Error("CPUOnly(0) should clamp to one worker")
+	}
+}
+
+func TestString(t *testing.T) {
+	s := IntelV100(Config{}).String()
+	if !strings.Contains(s, "Intel-V100") || !strings.Contains(s, "cpu") || !strings.Contains(s, "gpu") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestNUMANodePreset(t *testing.T) {
+	m := NUMANode(2, 4, 0)
+	if len(m.Mems) != 2 {
+		t.Fatalf("mems = %d, want 2 sockets", len(m.Mems))
+	}
+	if got := m.NumWorkersOf(ArchCPU); got != 8 {
+		t.Errorf("workers = %d, want 8", got)
+	}
+	for s := 0; s < 2; s++ {
+		if got := len(m.UnitsOn(MemID(s))); got != 4 {
+			t.Errorf("socket %d has %d units, want 4", s, got)
+		}
+	}
+	// Cross-socket transfers cost something, same-socket nothing.
+	if m.TransferTime(0, 1, 1<<20) <= 0 {
+		t.Error("cross-socket transfer should take time")
+	}
+	if m.TransferTime(0, 0, 1<<20) != 0 {
+		t.Error("same-socket transfer should be free")
+	}
+	// Degenerate arguments clamp.
+	if m2 := NUMANode(0, 0, -1); len(m2.Units) != 1 {
+		t.Errorf("clamped preset has %d units", len(m2.Units))
+	}
+}
+
+func TestPowerModelPresent(t *testing.T) {
+	m := IntelV100(Config{GPUStreams: 2})
+	cpu := m.Archs[ArchCPU]
+	gpu := m.Archs[ArchGPU]
+	if cpu.BusyWatts <= cpu.IdleWatts || cpu.IdleWatts <= 0 {
+		t.Errorf("cpu power model: busy %v idle %v", cpu.BusyWatts, cpu.IdleWatts)
+	}
+	// Stream workers split the device power.
+	m1 := IntelV100(Config{GPUStreams: 1})
+	if gpu.BusyWatts*2 != m1.Archs[ArchGPU].BusyWatts {
+		t.Errorf("2-stream busy watts %v, want half of %v", gpu.BusyWatts, m1.Archs[ArchGPU].BusyWatts)
+	}
+}

@@ -1,0 +1,239 @@
+package runtime
+
+import (
+	"fmt"
+
+	"multiprio/internal/platform"
+)
+
+// Graph holds an application DAG built through sequential task
+// submission. It is not safe for concurrent submission (the STF model is
+// sequential by construction); execution engines read it concurrently
+// only after submission is complete.
+type Graph struct {
+	Tasks   []*Task
+	Handles []*DataHandle
+
+	// preds records direct predecessors per task ID; kept out of Task to
+	// avoid growing the hot struct (successors are needed on the NOD hot
+	// path, predecessors only for restricted counts and critical paths).
+	preds map[int64][]*Task
+
+	nextTask   int64
+	nextHandle int64
+}
+
+// NewGraph returns an empty application graph.
+func NewGraph() *Graph {
+	return &Graph{preds: make(map[int64][]*Task)}
+}
+
+// NewData registers a data handle of the given size residing on the main
+// RAM node.
+func (g *Graph) NewData(name string, bytes int64) *DataHandle {
+	return g.NewDataOn(name, bytes, platform.MemRAM)
+}
+
+// NewDataOn registers a data handle residing initially on mem.
+func (g *Graph) NewDataOn(name string, bytes int64, mem platform.MemID) *DataHandle {
+	h := &DataHandle{
+		ID:    g.nextHandle,
+		Name:  name,
+		Bytes: bytes,
+		Home:  mem,
+	}
+	g.nextHandle++
+	g.Handles = append(g.Handles, h)
+	return h
+}
+
+// Submit adds the task to the graph, inferring dependencies from the
+// access modes against previously submitted tasks (the STF rule: a read
+// depends on the last writer; a write depends on the last writer and all
+// readers since). Task IDs are assigned by submission order.
+func (g *Graph) Submit(t *Task) *Task {
+	t.ID = g.nextTask
+	g.nextTask++
+	deps := make(map[int64]*Task)
+	dep := func(d *Task) {
+		if d != nil && d != t {
+			deps[d.ID] = d
+		}
+	}
+	for _, a := range t.Accesses {
+		h := a.Handle
+		if h == nil {
+			panic(fmt.Sprintf("runtime: task %q submitted with nil handle", t.Kind))
+		}
+		switch a.Mode {
+		case R:
+			if len(h.commuters) > 0 {
+				// A read closes the open commute group: it waits for
+				// every commuting updater, and later accesses order
+				// against the reader (transitively against the group).
+				for _, c := range h.commuters {
+					dep(c)
+				}
+				h.commuters = h.commuters[:0]
+				h.lastWriter = nil
+				h.readers = h.readers[:0]
+			} else {
+				dep(h.lastWriter)
+			}
+			h.readers = append(h.readers, t)
+		case Commute:
+			// Commutative update: ordered after the last exclusive
+			// writer and any readers since, but NOT after fellow
+			// members of the open group.
+			dep(h.lastWriter)
+			for _, r := range h.readers {
+				dep(r)
+			}
+			h.commuters = append(h.commuters, t)
+		case W, RW:
+			dep(h.lastWriter)
+			for _, r := range h.readers {
+				dep(r)
+			}
+			for _, c := range h.commuters {
+				dep(c)
+			}
+			h.readers = h.readers[:0]
+			h.commuters = h.commuters[:0]
+			h.lastWriter = t
+		default:
+			panic(fmt.Sprintf("runtime: task %q has invalid access mode %d", t.Kind, a.Mode))
+		}
+	}
+	for _, d := range deps {
+		g.addEdge(d, t)
+	}
+	t.remaining.Store(t.npreds)
+	g.Tasks = append(g.Tasks, t)
+	return t
+}
+
+// Declare adds an explicit dependency edge from -> to, for dependencies
+// not expressible through data accesses. It must be called after both
+// tasks were submitted and before the graph runs.
+func (g *Graph) Declare(from, to *Task) {
+	g.addEdge(from, to)
+	to.remaining.Store(to.npreds)
+}
+
+func (g *Graph) addEdge(from, to *Task) {
+	from.succs = append(from.succs, to)
+	to.npreds++
+	g.preds[to.ID] = append(g.preds[to.ID], from)
+}
+
+// Preds returns the direct predecessors λ−(t).
+func (g *Graph) Preds(t *Task) []*Task { return g.preds[t.ID] }
+
+// Roots appends to dst the tasks with no predecessors (ready at time 0)
+// and returns the extended slice.
+func (g *Graph) Roots(dst []*Task) []*Task {
+	for _, t := range g.Tasks {
+		if t.npreds == 0 {
+			dst = append(dst, t)
+		}
+	}
+	return dst
+}
+
+// ResetRun restores all tasks to their pre-execution state so the graph
+// can be executed again (scheduler comparisons reuse one DAG).
+func (g *Graph) ResetRun() {
+	for _, t := range g.Tasks {
+		t.ResetExecState()
+	}
+}
+
+// Validate checks the structural sanity of the graph: positive handle
+// sizes, at least one implementation per task, acyclicity (guaranteed by
+// construction through submission order, verified anyway), and that
+// dependency counters match edge counts.
+func (g *Graph) Validate() error {
+	for _, h := range g.Handles {
+		if h.Bytes < 0 {
+			return fmt.Errorf("runtime: handle %q has negative size", h.Name)
+		}
+	}
+	for _, t := range g.Tasks {
+		any := false
+		for a := range t.Cost {
+			if t.CanRun(platform.ArchID(a)) {
+				any = true
+			}
+		}
+		if !any {
+			return fmt.Errorf("runtime: task %d (%s) has no implementation", t.ID, t.Kind)
+		}
+		if int(t.npreds) != len(g.preds[t.ID]) {
+			return fmt.Errorf("runtime: task %d pred count %d != recorded %d", t.ID, t.npreds, len(g.preds[t.ID]))
+		}
+		for _, s := range t.succs {
+			if s.ID <= t.ID {
+				return fmt.Errorf("runtime: edge %d -> %d violates submission order", t.ID, s.ID)
+			}
+		}
+	}
+	return nil
+}
+
+// TotalFlops sums the Flops of all tasks.
+func (g *Graph) TotalFlops() float64 {
+	var sum float64
+	for _, t := range g.Tasks {
+		sum += t.Flops
+	}
+	return sum
+}
+
+// SerialTime returns the sum over tasks of the best per-arch cost: the
+// runtime of the DAG on a single ideal worker of each task's best
+// architecture. It is a convenient lower-bound-ish reference for
+// speedup reporting.
+func (g *Graph) SerialTime() float64 {
+	var sum float64
+	for _, t := range g.Tasks {
+		best := 0.0
+		first := true
+		for a := range t.Cost {
+			if c, ok := t.BaseCost(platform.ArchID(a)); ok && (first || c < best) {
+				best, first = c, false
+			}
+		}
+		sum += best
+	}
+	return sum
+}
+
+// CriticalPathTime returns the length of the longest path through the
+// DAG using each task's best per-arch cost: the ideal makespan with
+// infinite resources.
+func (g *Graph) CriticalPathTime() float64 {
+	longest := make(map[int64]float64, len(g.Tasks))
+	var best float64
+	// Tasks are topologically ordered by ID (submission order).
+	for _, t := range g.Tasks {
+		c := 0.0
+		first := true
+		for a := range t.Cost {
+			if v, ok := t.BaseCost(platform.ArchID(a)); ok && (first || v < c) {
+				c, first = v, false
+			}
+		}
+		start := longest[t.ID]
+		end := start + c
+		if end > best {
+			best = end
+		}
+		for _, s := range t.succs {
+			if end > longest[s.ID] {
+				longest[s.ID] = end
+			}
+		}
+	}
+	return best
+}

@@ -1,0 +1,178 @@
+package runtime
+
+import (
+	"math"
+
+	"multiprio/internal/perfmodel"
+	"multiprio/internal/platform"
+)
+
+// Scheduler is the contract between the execution engines and a
+// scheduling policy, mirroring StarPU's push/pop custom-policy hooks
+// (Section IV-A of the paper).
+//
+// Implementations must be safe for concurrent use: the threaded engine
+// calls Pop from many worker goroutines, and Push/TaskDone from whichever
+// goroutine completes a predecessor.
+type Scheduler interface {
+	// Name returns the policy name used in reports ("multiprio",
+	// "dmdas", ...).
+	Name() string
+	// Init binds the scheduler to an execution environment. It is
+	// called once before any Push/Pop and resets all internal state.
+	Init(env *Env)
+	// Push offers a task whose dependencies are all released.
+	Push(t *Task)
+	// Pop requests a task for an idle worker. Returning nil means the
+	// policy has no eligible task for this worker right now; the engine
+	// will call again after the next Push or completion. The scheduler
+	// must return claimed tasks only (Task.TryClaim succeeded).
+	Pop(w WorkerInfo) *Task
+	// TaskDone notifies the scheduler that the task finished on w.
+	TaskDone(t *Task, w WorkerInfo)
+}
+
+// DataLocator exposes the engine's view of data placement to schedulers,
+// for the locality heuristics (LS_SDH², dmda transfer estimates).
+type DataLocator interface {
+	// IsResident reports whether a valid replica of h exists on mem.
+	IsResident(h *DataHandle, mem platform.MemID) bool
+	// TransferEstimate returns the estimated time to make h valid on
+	// mem (0 when already resident). It ignores queueing delays.
+	TransferEstimate(h *DataHandle, mem platform.MemID) float64
+}
+
+// homeLocator is the trivial locator of engines without distributed
+// memory (the threaded engine): everything lives on RAM.
+type homeLocator struct{}
+
+func (homeLocator) IsResident(h *DataHandle, mem platform.MemID) bool { return mem == h.Home }
+func (homeLocator) TransferEstimate(h *DataHandle, mem platform.MemID) float64 {
+	return 0
+}
+
+// Env is the execution environment handed to schedulers at Init.
+type Env struct {
+	Machine *platform.Machine
+	Graph   *Graph
+	Model   perfmodel.Estimator
+	Locator DataLocator
+	// Now returns the current time in seconds (virtual or wall-clock).
+	Now func() float64
+	// Prefetch asks the engine to stage the task's data on mem in the
+	// background. Engines without transfers leave it nil.
+	Prefetch func(t *Task, mem platform.MemID)
+}
+
+// Delta returns δ(t, a): the estimated execution time of t on
+// architecture a, or +Inf when t has no implementation for a. This is
+// the quantity every heuristic in the paper is written in terms of.
+func (e *Env) Delta(t *Task, a platform.ArchID) float64 {
+	if !t.CanRun(a) {
+		return math.Inf(1)
+	}
+	sec, ok := e.Model.Estimate(t.Kind, a, t.Footprint, func() (float64, bool) {
+		return t.BaseCost(a)
+	})
+	if !ok {
+		return math.Inf(1)
+	}
+	return sec
+}
+
+// BestArch returns the architecture with the minimum δ(t, a) among
+// architectures that have at least one worker, and that minimum. The
+// boolean is false when no worker can run the task.
+func (e *Env) BestArch(t *Task) (platform.ArchID, float64, bool) {
+	best := platform.ArchID(-1)
+	bestT := math.Inf(1)
+	for a := range e.Machine.Archs {
+		arch := platform.ArchID(a)
+		if e.Machine.NumWorkersOf(arch) == 0 {
+			continue
+		}
+		if d := e.Delta(t, arch); d < bestT {
+			best, bestT = arch, d
+		}
+	}
+	return best, bestT, best >= 0
+}
+
+// SecondBestArch returns the arch with the second smallest δ among archs
+// with workers, used by the gain heuristic (Eq. 1). ok is false when
+// fewer than two architectures can run the task.
+func (e *Env) SecondBestArch(t *Task) (platform.ArchID, float64, bool) {
+	best, second := platform.ArchID(-1), platform.ArchID(-1)
+	bestT, secondT := math.Inf(1), math.Inf(1)
+	for a := range e.Machine.Archs {
+		arch := platform.ArchID(a)
+		if e.Machine.NumWorkersOf(arch) == 0 {
+			continue
+		}
+		d := e.Delta(t, arch)
+		if math.IsInf(d, 1) {
+			continue
+		}
+		switch {
+		case d < bestT:
+			second, secondT = best, bestT
+			best, bestT = arch, d
+		case d < secondT:
+			second, secondT = arch, d
+		}
+	}
+	_ = best
+	return second, secondT, second >= 0
+}
+
+// TransferEstimate sums the locator's per-handle estimates for all of
+// t's accesses to mem. Write-only accesses need no fetch of the previous
+// contents, matching the simulator's transfer rules.
+func (e *Env) TransferEstimate(t *Task, mem platform.MemID) float64 {
+	if e.Locator == nil {
+		return 0
+	}
+	var sum float64
+	for _, a := range t.Accesses {
+		if a.Mode == W {
+			continue
+		}
+		sum += e.Locator.TransferEstimate(a.Handle, mem)
+	}
+	return sum
+}
+
+// LSSDH2 computes the LS_SDH² locality score of task t on memory node
+// mem (Eq. 3): the sum of sizes of the task's read data already resident
+// on mem, plus the squared sizes for written data. Higher means more of
+// the task's data is already local.
+func (e *Env) LSSDH2(t *Task, mem platform.MemID) float64 {
+	if e.Locator == nil {
+		return 0
+	}
+	var score float64
+	for _, a := range t.Accesses {
+		if !e.Locator.IsResident(a.Handle, mem) {
+			continue
+		}
+		sz := float64(a.Handle.Bytes)
+		if a.Mode.IsWrite() {
+			score += sz * sz
+		} else {
+			score += sz
+		}
+	}
+	return score
+}
+
+// NewEnv builds an Env with sensible defaults: oracle performance model,
+// home locator, zero clock. Engines override the fields they implement.
+func NewEnv(m *platform.Machine, g *Graph) *Env {
+	return &Env{
+		Machine: m,
+		Graph:   g,
+		Model:   perfmodel.Oracle{},
+		Locator: homeLocator{},
+		Now:     func() float64 { return 0 },
+	}
+}

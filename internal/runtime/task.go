@@ -1,0 +1,276 @@
+// Package runtime implements a Sequential-Task-Flow (STF) task runtime in
+// the style of StarPU (Augonnet et al., CCPE 2011): applications declare
+// data handles, submit tasks with per-handle access modes in sequential
+// order, and the runtime infers the DAG automatically from the data
+// dependencies. Schedulers plug in through the Scheduler interface with
+// the PUSH (task became ready) and POP (worker idle) operations described
+// in Section IV-A of the paper.
+//
+// Two execution engines consume this package: the threaded engine in this
+// package (real goroutine workers running real Go kernels) and the
+// discrete-event simulator in internal/sim (virtual time, heterogeneous
+// platforms, data transfers). Both drive the same scheduler
+// implementations.
+package runtime
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"multiprio/internal/platform"
+)
+
+// AccessMode declares how a task accesses a data handle, following
+// StarPU's STF access modes.
+type AccessMode uint8
+
+// Access modes. W is write-only (contents overwritten), RW is
+// read-modify-write. For dependency inference W and RW are equivalent;
+// for data transfers a W access does not require fetching the old value.
+//
+// Commute is StarPU's STARPU_COMMUTE combined with RW: a set of
+// consecutive commutative updates to the same handle may execute in any
+// order (no dependencies among themselves) but never concurrently (the
+// engines serialize them with per-handle locks at execution time).
+// TBFMM's P2P and L2P force accumulations are the canonical use.
+const (
+	R AccessMode = iota + 1
+	W
+	RW
+	Commute
+)
+
+// String returns the conventional short name of the mode.
+func (m AccessMode) String() string {
+	switch m {
+	case R:
+		return "R"
+	case W:
+		return "W"
+	case RW:
+		return "RW"
+	case Commute:
+		return "RW|COMMUTE"
+	default:
+		return fmt.Sprintf("AccessMode(%d)", uint8(m))
+	}
+}
+
+// IsWrite reports whether the mode writes the handle.
+func (m AccessMode) IsWrite() bool { return m == W || m == RW || m == Commute }
+
+// IsRead reports whether the mode reads the previous handle contents.
+func (m AccessMode) IsRead() bool { return m == R || m == RW || m == Commute }
+
+// DataHandle is a piece of application data registered with the runtime.
+// Tasks access handles through Access entries; the runtime infers
+// dependencies and (in the simulator) tracks replicas across memory
+// nodes.
+type DataHandle struct {
+	ID    int64
+	Name  string
+	Bytes int64
+	// Home is the memory node where the data initially resides.
+	Home platform.MemID
+	// Payload carries the real data for the threaded engine (e.g. a
+	// *[]float64 tile). The simulator ignores it.
+	Payload any
+
+	// STF inference state (owned by Graph.Submit, not synchronized:
+	// submission is sequential by definition of the model).
+	lastWriter *Task
+	readers    []*Task
+	// commuters is the open group of commutative updaters since the
+	// last exclusive access; they don't depend on one another, and the
+	// next non-commute access depends on all of them.
+	commuters []*Task
+	// commuteMu serializes commuting updaters at execution time on the
+	// threaded engine (the simulator uses virtual-time locks instead).
+	commuteMu sync.Mutex
+}
+
+// Access pairs a handle with an access mode.
+type Access struct {
+	Handle *DataHandle
+	Mode   AccessMode
+}
+
+// Task is one node of the application DAG.
+type Task struct {
+	ID   int64
+	Kind string // kernel name, the performance-model key
+	// Footprint buckets the task in the performance model (typically
+	// the tile width or another granularity proxy).
+	Footprint uint64
+	// Flops is the arithmetic work, used by cost models and reporting.
+	Flops float64
+	// Priority is the application-provided static priority exploited by
+	// the dmdas scheduler (0 when the application sets none, as in the
+	// paper's TBFMM and QR_MUMPS runs).
+	Priority int
+	Accesses []Access
+	// Cost[a] is the reference execution time in seconds of this task
+	// on architecture a (speed factor 1). A zero, negative, NaN or
+	// missing entry means the task has no implementation for a.
+	Cost []float64
+	// Run is the real kernel executed by the threaded engine; the
+	// simulator never calls it.
+	Run func(w WorkerInfo)
+
+	// Tag is free for application use (e.g. tile coordinates).
+	Tag any
+
+	// DAG state.
+	succs     []*Task
+	npreds    int32
+	remaining atomic.Int32
+	claimed   atomic.Bool
+
+	// Execution record, filled by the engines (virtual or wall-clock
+	// seconds since the start of the run).
+	ReadyAt float64
+	StartAt float64
+	EndAt   float64
+	RanOn   platform.UnitID
+
+	// SchedData is scratch space owned by the active scheduler.
+	SchedData any
+}
+
+// CanRun reports whether the task has an implementation for arch.
+func (t *Task) CanRun(a platform.ArchID) bool {
+	if int(a) >= len(t.Cost) || a < 0 {
+		return false
+	}
+	c := t.Cost[a]
+	return c > 0 && !math.IsNaN(c) && !math.IsInf(c, 0)
+}
+
+// BaseCost returns the reference cost of the task on arch and whether an
+// implementation exists.
+func (t *Task) BaseCost(a platform.ArchID) (float64, bool) {
+	if !t.CanRun(a) {
+		return 0, false
+	}
+	return t.Cost[a], true
+}
+
+// Succs returns the direct successors λ+(t) known so far. The slice is
+// owned by the runtime; callers must not mutate it.
+func (t *Task) Succs() []*Task { return t.succs }
+
+// NumPreds returns |λ−(t)|, the number of direct predecessors.
+func (t *Task) NumPreds() int { return int(t.npreds) }
+
+// NumPredsOn returns |λ−(t, P_m)| restricted to predecessors executable
+// on architecture a, as used by the NOD criticality heuristic (Eq. 2).
+func (t *Task) NumPredsOn(a platform.ArchID, g *Graph) int {
+	n := 0
+	for _, p := range g.preds[t.ID] {
+		if p.CanRun(a) {
+			n++
+		}
+	}
+	return n
+}
+
+// ReleaseDep atomically decrements the unfinished-predecessor counter
+// and reports whether the task just became ready. Execution engines call
+// it once per completed predecessor.
+func (t *Task) ReleaseDep() bool {
+	n := t.remaining.Add(-1)
+	if n < 0 {
+		panic(fmt.Sprintf("runtime: task %d dependency counter underflow", t.ID))
+	}
+	return n == 0
+}
+
+// TryClaim atomically claims the task for execution. Tasks are duplicated
+// across per-memory-node priority queues; the first worker to claim wins
+// and the other copies become stale (removed lazily by the schedulers).
+func (t *Task) TryClaim() bool {
+	return t.claimed.CompareAndSwap(false, true)
+}
+
+// Claimed reports whether some worker already claimed the task.
+func (t *Task) Claimed() bool { return t.claimed.Load() }
+
+// ResetExecState clears claim/dependency/execution state so the same
+// graph can be run again (used by experiments that compare schedulers on
+// one DAG). Dependency counters are rebuilt by Graph.ResetRun.
+func (t *Task) ResetExecState() {
+	t.claimed.Store(false)
+	t.remaining.Store(t.npreds)
+	t.ReadyAt, t.StartAt, t.EndAt = 0, 0, 0
+	t.RanOn = 0
+	t.SchedData = nil
+}
+
+// WorkerInfo describes the worker invoking a scheduler or kernel.
+type WorkerInfo struct {
+	ID   platform.UnitID
+	Arch platform.ArchID
+	Mem  platform.MemID
+}
+
+// CommuteHandles appends to dst the distinct handles the task accesses
+// in Commute mode, sorted by handle ID (the canonical lock order), and
+// returns the extended slice. Execution engines serialize commuting
+// tasks by locking these before running the kernel.
+func (t *Task) CommuteHandles(dst []*DataHandle) []*DataHandle {
+	start := len(dst)
+	for _, a := range t.Accesses {
+		if a.Mode != Commute {
+			continue
+		}
+		dup := false
+		for _, h := range dst[start:] {
+			if h.ID == a.Handle.ID {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			dst = append(dst, a.Handle)
+		}
+	}
+	s := dst[start:]
+	sort.Slice(s, func(i, j int) bool { return s[i].ID < s[j].ID })
+	return dst
+}
+
+// LockCommute acquires the execution-time mutual-exclusion locks of the
+// task's commute handles (in canonical order) for the threaded engine.
+// The returned function releases them; it is a no-op pair when the task
+// has no commute accesses.
+func (t *Task) LockCommute() (unlock func()) {
+	hs := t.CommuteHandles(nil)
+	if len(hs) == 0 {
+		return func() {}
+	}
+	for _, h := range hs {
+		h.commuteMu.Lock()
+	}
+	return func() {
+		for i := len(hs) - 1; i >= 0; i-- {
+			hs[i].commuteMu.Unlock()
+		}
+	}
+}
+
+// TotalBytes returns the summed sizes of the task's accesses, counting
+// each distinct handle once.
+func (t *Task) TotalBytes() int64 {
+	var sum int64
+	seen := make(map[int64]bool, len(t.Accesses))
+	for _, a := range t.Accesses {
+		if !seen[a.Handle.ID] {
+			seen[a.Handle.ID] = true
+			sum += a.Handle.Bytes
+		}
+	}
+	return sum
+}

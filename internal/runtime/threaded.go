@@ -1,0 +1,148 @@
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"multiprio/internal/perfmodel"
+	"multiprio/internal/platform"
+)
+
+// ThreadedEngine executes a Graph with real goroutine workers, one per
+// processing unit of the machine description. It is the "this is a real
+// task runtime" engine: kernels are ordinary Go functions and times are
+// wall-clock. Heterogeneous experiments use the simulator in
+// internal/sim instead; both engines drive the same Scheduler
+// implementations.
+type ThreadedEngine struct {
+	Machine *platform.Machine
+	Sched   Scheduler
+	// History, when non-nil, receives observed execution times
+	// (normalized by the unit speed factor) so schedulers estimate from
+	// real measurements on subsequent runs.
+	History *perfmodel.History
+}
+
+// ErrStarved is returned when every worker is idle, no task is running,
+// unfinished tasks remain, and the scheduler still refuses to hand out
+// work: a livelocked policy.
+var ErrStarved = errors.New("runtime: scheduler starved all workers with tasks remaining")
+
+// Run executes the graph and returns the wall-clock makespan.
+func (e *ThreadedEngine) Run(g *Graph) (float64, error) {
+	if err := g.Validate(); err != nil {
+		return 0, err
+	}
+	env := NewEnv(e.Machine, g)
+	start := time.Now()
+	now := func() float64 { return time.Since(start).Seconds() }
+	env.Now = now
+	if e.History != nil {
+		env.Model = e.History
+	}
+	e.Sched.Init(env)
+
+	var (
+		mu        sync.Mutex
+		cond      = sync.Cond{L: &mu}
+		remaining = len(g.Tasks)
+		running   int
+		failed    error
+		// nilStreak counts consecutive failed pops with no intervening
+		// activity (successful pop, completion, or push). When every
+		// worker has failed in a row while nothing runs, the policy is
+		// genuinely starving the engine — a single worker's empty
+		// queue is not enough (per-worker-queue policies like dmdas
+		// map tasks to specific workers).
+		nilStreak int
+	)
+	workers := make([]WorkerInfo, len(e.Machine.Units))
+	for i, u := range e.Machine.Units {
+		workers[i] = WorkerInfo{ID: platform.UnitID(i), Arch: u.Arch, Mem: u.Mem}
+	}
+
+	for _, t := range g.Roots(nil) {
+		t.ReadyAt = 0
+		e.Sched.Push(t)
+	}
+
+	var wg sync.WaitGroup
+	for _, w := range workers {
+		wg.Add(1)
+		go func(w WorkerInfo) {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				var t *Task
+				for {
+					if remaining == 0 || failed != nil {
+						mu.Unlock()
+						cond.Broadcast()
+						return
+					}
+					t = e.Sched.Pop(w)
+					if t != nil {
+						nilStreak = 0
+						break
+					}
+					nilStreak++
+					if nilStreak >= len(workers) && running == 0 {
+						failed = fmt.Errorf("%w (%d tasks left)", ErrStarved, remaining)
+						mu.Unlock()
+						cond.Broadcast()
+						return
+					}
+					cond.Wait()
+				}
+				running++
+				mu.Unlock()
+
+				e.execute(t, w, now)
+
+				mu.Lock()
+				running--
+				remaining--
+				mu.Unlock()
+
+				for _, s := range t.Succs() {
+					if s.ReleaseDep() {
+						s.ReadyAt = now()
+						e.Sched.Push(s)
+					}
+				}
+				e.Sched.TaskDone(t, w)
+				mu.Lock()
+				nilStreak = 0 // new work may be visible: reprobe everywhere
+				mu.Unlock()
+				cond.Broadcast()
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if failed != nil {
+		return 0, failed
+	}
+	return now(), nil
+}
+
+func (e *ThreadedEngine) execute(t *Task, w WorkerInfo, now func() float64) {
+	unlock := t.LockCommute()
+	t.StartAt = now()
+	t.RanOn = w.ID
+	if t.Run != nil {
+		t.Run(w)
+	}
+	unlock()
+	t.EndAt = now()
+	if e.History != nil {
+		dur := t.EndAt - t.StartAt
+		sf := e.Machine.Units[w.ID].SpeedFactor
+		if sf > 0 {
+			dur /= sf
+		}
+		e.History.Record(t.Kind, w.Arch, t.Footprint, dur)
+	}
+}

@@ -1,0 +1,250 @@
+package dmdas
+
+import (
+	"math"
+	"testing"
+
+	"multiprio/internal/platform"
+	"multiprio/internal/runtime"
+	"multiprio/internal/sim"
+)
+
+func hetero() *platform.Machine {
+	m := &platform.Machine{
+		Name:  "hetero",
+		Archs: []platform.Arch{{Name: "cpu"}, {Name: "gpu"}},
+		Mems:  []platform.MemNode{{Name: "ram"}, {Name: "gpu-mem"}},
+		Units: []platform.Unit{
+			{Name: "cpu0", Arch: 0, Mem: 0, SpeedFactor: 1},
+			{Name: "cpu1", Arch: 0, Mem: 0, SpeedFactor: 1},
+			{Name: "gpu0", Arch: 1, Mem: 1, SpeedFactor: 1},
+		},
+		LinkMatrix: [][]platform.Link{
+			{{}, {BandwidthBytes: 1e9, LatencySec: 0}},
+			{{BandwidthBytes: 1e9, LatencySec: 0}, {}},
+		},
+	}
+	if err := m.Validate(); err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func TestVariantNames(t *testing.T) {
+	if New(DM).Name() != "dm" || New(DMDA).Name() != "dmda" || New(DMDAS).Name() != "dmdas" {
+		t.Error("variant names wrong")
+	}
+}
+
+func TestPushMapsToFastestWorker(t *testing.T) {
+	m := hetero()
+	g := runtime.NewGraph()
+	s := New(DM)
+	s.Init(runtime.NewEnv(m, g))
+	task := g.Submit(&runtime.Task{Kind: "k", Cost: []float64{4, 1}})
+	s.Push(task)
+	if s.QueueLen(2) != 1 {
+		t.Error("GPU-favourable task not mapped to the GPU worker")
+	}
+	got := s.Pop(runtime.WorkerInfo{ID: 2, Arch: 1, Mem: 1})
+	if got != task {
+		t.Error("GPU worker could not pop its mapped task")
+	}
+	if s.Pop(runtime.WorkerInfo{ID: 0, Arch: 0, Mem: 0}) != nil {
+		t.Error("CPU worker popped from an empty queue")
+	}
+}
+
+func TestLoadBalancingAcrossEqualWorkers(t *testing.T) {
+	m := hetero()
+	g := runtime.NewGraph()
+	s := New(DM)
+	s.Init(runtime.NewEnv(m, g))
+	// CPU-only tasks must spread over both CPU workers.
+	for i := 0; i < 4; i++ {
+		s.Push(g.Submit(&runtime.Task{Kind: "c", Cost: []float64{1}}))
+	}
+	if s.QueueLen(0) != 2 || s.QueueLen(1) != 2 {
+		t.Errorf("queues = %d/%d, want 2/2", s.QueueLen(0), s.QueueLen(1))
+	}
+}
+
+func TestDMDAAccountsTransferTime(t *testing.T) {
+	m := hetero()
+	g := runtime.NewGraph()
+	envDM := runtime.NewEnv(m, g)
+	// A locator that makes GPU transfers expensive.
+	envDM.Locator = costlyLocator{}
+	// GPU is 2x faster on compute (1 vs 2) but the transfer (10s)
+	// dominates: dmda must keep the task on CPU, dm must not.
+	task := &runtime.Task{Kind: "k", Cost: []float64{2, 1}}
+	h := g.NewData("x", 100)
+	task.Accesses = []runtime.Access{{Handle: h, Mode: runtime.R}}
+	g.Submit(task)
+
+	sda := New(DMDA)
+	sda.Init(envDM)
+	sda.Push(task)
+	if sda.QueueLen(2) != 0 {
+		t.Error("dmda ignored the transfer cost")
+	}
+
+	g2 := runtime.NewGraph()
+	h2 := g2.NewData("x", 100)
+	task2 := g2.Submit(&runtime.Task{Kind: "k", Cost: []float64{2, 1},
+		Accesses: []runtime.Access{{Handle: h2, Mode: runtime.R}}})
+	envPlain := runtime.NewEnv(m, g2)
+	envPlain.Locator = costlyLocator{}
+	sdm := New(DM)
+	sdm.Init(envPlain)
+	sdm.Push(task2)
+	if sdm.QueueLen(2) != 1 {
+		t.Error("dm should ignore transfer cost and pick the GPU")
+	}
+}
+
+type costlyLocator struct{}
+
+func (costlyLocator) IsResident(h *runtime.DataHandle, mem platform.MemID) bool {
+	return mem == platform.MemRAM
+}
+func (costlyLocator) TransferEstimate(h *runtime.DataHandle, mem platform.MemID) float64 {
+	if mem == platform.MemRAM {
+		return 0
+	}
+	return 10
+}
+
+func TestDMDASSortsByPriority(t *testing.T) {
+	m := hetero()
+	g := runtime.NewGraph()
+	s := New(DMDAS)
+	s.Init(runtime.NewEnv(m, g))
+	low := g.Submit(&runtime.Task{Kind: "low", Priority: 1, Cost: []float64{0, 1}})
+	hi := g.Submit(&runtime.Task{Kind: "hi", Priority: 9, Cost: []float64{0, 1}})
+	mid := g.Submit(&runtime.Task{Kind: "mid", Priority: 5, Cost: []float64{0, 1}})
+	s.Push(low)
+	s.Push(hi)
+	s.Push(mid)
+	w := runtime.WorkerInfo{ID: 2, Arch: 1, Mem: 1}
+	want := []*runtime.Task{hi, mid, low}
+	for i, wt := range want {
+		if got := s.Pop(w); got != wt {
+			t.Fatalf("pop %d = %s, want %s", i, got.Kind, wt.Kind)
+		}
+	}
+}
+
+func TestDMDASEqualPriorityIsFIFO(t *testing.T) {
+	m := hetero()
+	g := runtime.NewGraph()
+	s := New(DMDAS)
+	s.Init(runtime.NewEnv(m, g))
+	a := g.Submit(&runtime.Task{Kind: "a", Cost: []float64{0, 1}})
+	b := g.Submit(&runtime.Task{Kind: "b", Cost: []float64{0, 1}})
+	s.Push(a)
+	s.Push(b)
+	w := runtime.WorkerInfo{ID: 2, Arch: 1, Mem: 1}
+	if got := s.Pop(w); got != a {
+		t.Errorf("pop = %s, want FIFO head a", got.Kind)
+	}
+}
+
+func TestLoadDrainsOnPop(t *testing.T) {
+	m := hetero()
+	g := runtime.NewGraph()
+	s := New(DM)
+	s.Init(runtime.NewEnv(m, g))
+	task := g.Submit(&runtime.Task{Kind: "k", Cost: []float64{0, 1}})
+	s.Push(task)
+	s.Pop(runtime.WorkerInfo{ID: 2, Arch: 1, Mem: 1})
+	// A fresh task must again see an empty GPU: mapping unaffected by
+	// the drained load.
+	task2 := g.Submit(&runtime.Task{Kind: "k", Cost: []float64{0, 1}})
+	s.Push(task2)
+	if s.QueueLen(2) != 1 {
+		t.Error("load accounting leaked")
+	}
+}
+
+func TestEndToEndSimulation(t *testing.T) {
+	// A small mixed DAG runs to completion under every variant.
+	for _, v := range []Variant{DM, DMDA, DMDAS} {
+		m := hetero()
+		g := runtime.NewGraph()
+		h := g.NewData("x", 1000)
+		prev := g.Submit(&runtime.Task{Kind: "init", Cost: []float64{0.1, 0.1},
+			Accesses: []runtime.Access{{Handle: h, Mode: runtime.W}}})
+		_ = prev
+		for i := 0; i < 10; i++ {
+			g.Submit(&runtime.Task{Kind: "work", Priority: i, Cost: []float64{0.4, 0.1},
+				Accesses: []runtime.Access{{Handle: h, Mode: runtime.R}}})
+		}
+		res, err := sim.Run(m, g, New(v), sim.Options{})
+		if err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+		if res.Makespan <= 0 {
+			t.Errorf("%v: makespan %v", v, res.Makespan)
+		}
+	}
+}
+
+func TestPushUnrunnableTaskPanics(t *testing.T) {
+	m := hetero()
+	g := runtime.NewGraph()
+	s := New(DM)
+	s.Init(runtime.NewEnv(m, g))
+	bad := &runtime.Task{Kind: "bad", Cost: []float64{math.NaN(), 0}}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for unrunnable task")
+		}
+	}()
+	s.Push(bad)
+}
+
+func TestDMDARPrefersDataReady(t *testing.T) {
+	m := hetero()
+	g := runtime.NewGraph()
+	s := New(DMDAR)
+	env := runtime.NewEnv(m, g)
+	env.Locator = gpuResidentLocator{}
+	s.Init(env)
+
+	hRemote := g.NewData("remote", 100)
+	hLocal := g.NewData("local", 100)
+	far := g.Submit(&runtime.Task{Kind: "far", Cost: []float64{0, 1},
+		Accesses: []runtime.Access{{Handle: hRemote, Mode: runtime.R}}})
+	near := g.Submit(&runtime.Task{Kind: "near", Cost: []float64{0, 1},
+		Accesses: []runtime.Access{{Handle: hLocal, Mode: runtime.R}}})
+	s.Push(far)
+	s.Push(near)
+	w := runtime.WorkerInfo{ID: 2, Arch: 1, Mem: 1}
+	if got := s.Pop(w); got != near {
+		t.Errorf("dmdar pop = %s, want the data-ready task", got.Kind)
+	}
+	if got := s.Pop(w); got != far {
+		t.Errorf("dmdar second pop = %v, want the remaining task", got)
+	}
+	if s.Name() != "dmdar" {
+		t.Error("name mismatch")
+	}
+}
+
+// gpuResidentLocator marks only the handle named "local" resident on
+// the GPU memory node.
+type gpuResidentLocator struct{}
+
+func (gpuResidentLocator) IsResident(h *runtime.DataHandle, mem platform.MemID) bool {
+	if mem == platform.MemRAM {
+		return true
+	}
+	return h.Name == "local"
+}
+func (l gpuResidentLocator) TransferEstimate(h *runtime.DataHandle, mem platform.MemID) float64 {
+	if l.IsResident(h, mem) {
+		return 0
+	}
+	return 0.001
+}

@@ -1,0 +1,62 @@
+// Package eager implements StarPU's simplest scheduling policy: one
+// central FIFO shared by all workers. It ignores heterogeneity entirely
+// and serves as the floor baseline in ablation studies.
+package eager
+
+import (
+	"sync"
+
+	"multiprio/internal/runtime"
+)
+
+// Sched is the eager policy. The zero value is ready after Init.
+type Sched struct {
+	mu    sync.Mutex
+	queue []*runtime.Task
+}
+
+// New returns an eager scheduler.
+func New() *Sched { return &Sched{} }
+
+// Name implements runtime.Scheduler.
+func (s *Sched) Name() string { return "eager" }
+
+// Init implements runtime.Scheduler.
+func (s *Sched) Init(env *runtime.Env) {
+	s.mu.Lock()
+	s.queue = s.queue[:0]
+	s.mu.Unlock()
+}
+
+// Push implements runtime.Scheduler.
+func (s *Sched) Push(t *runtime.Task) {
+	s.mu.Lock()
+	s.queue = append(s.queue, t)
+	s.mu.Unlock()
+}
+
+// Pop implements runtime.Scheduler: first runnable unclaimed task in
+// FIFO order. Tasks the worker cannot run are left in place for others.
+func (s *Sched) Pop(w runtime.WorkerInfo) *runtime.Task {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := 0; i < len(s.queue); i++ {
+		t := s.queue[i]
+		if t.Claimed() {
+			s.queue = append(s.queue[:i], s.queue[i+1:]...)
+			i--
+			continue
+		}
+		if !t.CanRun(w.Arch) {
+			continue
+		}
+		if t.TryClaim() {
+			s.queue = append(s.queue[:i], s.queue[i+1:]...)
+			return t
+		}
+	}
+	return nil
+}
+
+// TaskDone implements runtime.Scheduler.
+func (s *Sched) TaskDone(t *runtime.Task, w runtime.WorkerInfo) {}

@@ -1,0 +1,85 @@
+package eager
+
+import (
+	"testing"
+
+	"multiprio/internal/platform"
+	"multiprio/internal/runtime"
+)
+
+func env(t *testing.T) *runtime.Env {
+	t.Helper()
+	return runtime.NewEnv(platform.CPUOnly(2), runtime.NewGraph())
+}
+
+func TestFIFOOrder(t *testing.T) {
+	s := New()
+	s.Init(env(t))
+	g := runtime.NewGraph()
+	a := g.Submit(&runtime.Task{Kind: "a", Cost: []float64{1}})
+	b := g.Submit(&runtime.Task{Kind: "b", Cost: []float64{1}})
+	s.Push(a)
+	s.Push(b)
+	w := runtime.WorkerInfo{ID: 0, Arch: 0, Mem: 0}
+	if got := s.Pop(w); got != a {
+		t.Errorf("pop = %v, want a (FIFO)", got)
+	}
+	if got := s.Pop(w); got != b {
+		t.Errorf("pop = %v, want b", got)
+	}
+	if got := s.Pop(w); got != nil {
+		t.Errorf("pop on empty = %v", got)
+	}
+}
+
+func TestSkipsUnrunnable(t *testing.T) {
+	s := New()
+	s.Init(env(t))
+	g := runtime.NewGraph()
+	gpuOnly := g.Submit(&runtime.Task{Kind: "g", Cost: []float64{0, 1}})
+	cpu := g.Submit(&runtime.Task{Kind: "c", Cost: []float64{1}})
+	s.Push(gpuOnly)
+	s.Push(cpu)
+	w := runtime.WorkerInfo{ID: 0, Arch: 0, Mem: 0}
+	// The head is not runnable on CPU: eager scans past it.
+	if got := s.Pop(w); got != cpu {
+		t.Errorf("pop = %v, want the cpu task past the unrunnable head", got)
+	}
+	gw := runtime.WorkerInfo{ID: 1, Arch: 1, Mem: 0}
+	if got := s.Pop(gw); got != gpuOnly {
+		t.Errorf("gpu pop = %v, want the gpu-only head", got)
+	}
+}
+
+func TestDropsClaimedTasks(t *testing.T) {
+	s := New()
+	s.Init(env(t))
+	g := runtime.NewGraph()
+	a := g.Submit(&runtime.Task{Kind: "a", Cost: []float64{1}})
+	b := g.Submit(&runtime.Task{Kind: "b", Cost: []float64{1}})
+	s.Push(a)
+	s.Push(b)
+	a.TryClaim() // claimed elsewhere (duplicate bookkeeping)
+	w := runtime.WorkerInfo{ID: 0, Arch: 0, Mem: 0}
+	if got := s.Pop(w); got != b {
+		t.Errorf("pop = %v, want b (claimed head dropped)", got)
+	}
+}
+
+func TestInitResets(t *testing.T) {
+	s := New()
+	s.Init(env(t))
+	g := runtime.NewGraph()
+	s.Push(g.Submit(&runtime.Task{Kind: "a", Cost: []float64{1}}))
+	s.Init(env(t))
+	w := runtime.WorkerInfo{ID: 0, Arch: 0, Mem: 0}
+	if got := s.Pop(w); got != nil {
+		t.Errorf("pop after re-Init = %v, want nil", got)
+	}
+}
+
+func TestName(t *testing.T) {
+	if New().Name() != "eager" {
+		t.Error("name mismatch")
+	}
+}

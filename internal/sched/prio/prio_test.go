@@ -1,0 +1,80 @@
+package prio
+
+import (
+	"testing"
+
+	"multiprio/internal/platform"
+	"multiprio/internal/runtime"
+	"multiprio/internal/sim"
+)
+
+func setup() (*Sched, *runtime.Graph) {
+	g := runtime.NewGraph()
+	s := New()
+	s.Init(runtime.NewEnv(platform.CPUOnly(2), g))
+	return s, g
+}
+
+func TestPriorityOrder(t *testing.T) {
+	s, g := setup()
+	low := g.Submit(&runtime.Task{Kind: "low", Priority: 1, Cost: []float64{1}})
+	hi := g.Submit(&runtime.Task{Kind: "hi", Priority: 9, Cost: []float64{1}})
+	mid := g.Submit(&runtime.Task{Kind: "mid", Priority: 5, Cost: []float64{1}})
+	s.Push(low)
+	s.Push(hi)
+	s.Push(mid)
+	w := runtime.WorkerInfo{ID: 0, Arch: 0, Mem: 0}
+	for _, want := range []*runtime.Task{hi, mid, low} {
+		if got := s.Pop(w); got != want {
+			t.Fatalf("pop = %v, want %s", got, want.Kind)
+		}
+	}
+	if s.Pop(w) != nil {
+		t.Fatal("pop on empty returned a task")
+	}
+}
+
+func TestEqualPriorityFIFO(t *testing.T) {
+	s, g := setup()
+	a := g.Submit(&runtime.Task{Kind: "a", Priority: 3, Cost: []float64{1}})
+	b := g.Submit(&runtime.Task{Kind: "b", Priority: 3, Cost: []float64{1}})
+	s.Push(a)
+	s.Push(b)
+	w := runtime.WorkerInfo{ID: 0, Arch: 0, Mem: 0}
+	if got := s.Pop(w); got != a {
+		t.Errorf("pop = %s, want FIFO head a", got.Kind)
+	}
+}
+
+func TestSkipsIncompatibleArch(t *testing.T) {
+	s, g := setup()
+	gpuOnly := g.Submit(&runtime.Task{Kind: "g", Priority: 9, Cost: []float64{0, 1}})
+	cpu := g.Submit(&runtime.Task{Kind: "c", Priority: 1, Cost: []float64{1}})
+	s.Push(gpuOnly)
+	s.Push(cpu)
+	w := runtime.WorkerInfo{ID: 0, Arch: 0, Mem: 0}
+	if got := s.Pop(w); got != cpu {
+		t.Errorf("pop = %v, want the runnable lower-priority task", got)
+	}
+	if s.Len() != 1 {
+		t.Errorf("len = %d, want the GPU task still queued", s.Len())
+	}
+}
+
+func TestEndToEnd(t *testing.T) {
+	g := runtime.NewGraph()
+	h := g.NewData("x", 8)
+	g.Submit(&runtime.Task{Kind: "w", Priority: 5, Cost: []float64{0.1},
+		Accesses: []runtime.Access{{Handle: h, Mode: runtime.W}}})
+	for i := 0; i < 10; i++ {
+		g.Submit(&runtime.Task{Kind: "r", Priority: i, Cost: []float64{0.1},
+			Accesses: []runtime.Access{{Handle: h, Mode: runtime.R}}})
+	}
+	res, err := sim.Run(platform.CPUOnly(4), g, New(), sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan <= 0 {
+		t.Fatal("no makespan")
+	}
+}

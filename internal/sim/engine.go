@@ -1,0 +1,388 @@
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"multiprio/internal/perfmodel"
+	"multiprio/internal/platform"
+	"multiprio/internal/runtime"
+	"multiprio/internal/trace"
+)
+
+// Options configures one simulated run.
+type Options struct {
+	// Seed drives all randomness (execution-time noise).
+	Seed int64
+	// Noise is the relative standard deviation of execution times
+	// (0 = fully deterministic kernels).
+	Noise float64
+	// Estimator is what schedulers see as the performance model.
+	// Nil defaults to perfmodel.Oracle (perfectly calibrated offline
+	// model, as StarPU assumes after calibration runs).
+	Estimator perfmodel.Estimator
+	// History, when non-nil, receives every observed execution time;
+	// pass it as Estimator too to simulate online calibration.
+	History *perfmodel.History
+	// CollectTrace enables full span/transfer recording (always on for
+	// makespan and idle accounting; this flag keeps transfer spans).
+	CollectTrace bool
+	// MaxEvents aborts runaway simulations; 0 means a generous default.
+	MaxEvents int64
+	// Pipeline is the number of tasks a worker may hold concurrently:
+	// one computing plus lookahead slots whose data transfers overlap
+	// the current compute, as StarPU workers do. Default 2.
+	Pipeline int
+}
+
+// Result reports one simulated run.
+type Result struct {
+	Makespan float64
+	Trace    *trace.Trace
+	// OverflowBytes counts allocations accepted beyond a memory node's
+	// capacity (memory pressure indicator), per node.
+	OverflowBytes []int64
+	Events        int64
+}
+
+// ErrDeadlock is returned when the event queue drains with unfinished
+// tasks: every worker idle, nothing in flight, and the scheduler refuses
+// to hand out the remaining tasks.
+var ErrDeadlock = errors.New("sim: deadlock - no events pending but tasks remain")
+
+// Engine is one in-flight simulation. Create per run via Run.
+type Engine struct {
+	machine *platform.Machine
+	graph   *runtime.Graph
+	sched   runtime.Scheduler
+	opts    Options
+
+	now          float64
+	seq          int64
+	pq           eventQueue
+	rng          *rand.Rand
+	mm           *memoryManager
+	tr           *trace.Trace
+	workers      []simWorker
+	left         int
+	events       int64
+	drainPending bool
+
+	// Commute-mode mutual exclusion in virtual time: handle ID -> held,
+	// plus retry continuations parked on a busy lock.
+	commuteHeld    map[int64]bool
+	commuteWaiters map[int64][]func()
+}
+
+type simWorker struct {
+	info        runtime.WorkerInfo
+	unit        platform.Unit
+	wakePending bool
+	// inflight counts tasks popped and not yet finished (computing
+	// plus lookahead slots acquiring data).
+	inflight int
+	// computing is non-nil while a kernel occupies the unit.
+	computing *runtime.Task
+	// freeAt is when the unit last became free, for wait accounting.
+	freeAt float64
+	// staged queues tasks whose data is ready, waiting for the unit.
+	staged []stagedTask
+}
+
+type stagedTask struct {
+	t     *runtime.Task
+	popAt float64
+}
+
+// Run simulates the execution of g on m under scheduler s.
+func Run(m *platform.Machine, g *runtime.Graph, s runtime.Scheduler, opts Options) (*Result, error) {
+	eng, err := runEngine(m, g, s, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Makespan:      eng.tr.Makespan,
+		Trace:         eng.tr,
+		OverflowBytes: eng.mm.overflow,
+		Events:        eng.events,
+	}, nil
+}
+
+// runEngine executes the simulation and returns the engine itself, so
+// in-package tests can inspect the memory manager's final state.
+func runEngine(m *platform.Machine, g *runtime.Graph, s runtime.Scheduler, opts Options) (*Engine, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	eng := &Engine{
+		machine: m,
+		graph:   g,
+		sched:   s,
+		opts:    opts,
+		rng:     rand.New(rand.NewSource(opts.Seed)),
+		tr:      trace.New(m),
+		left:    len(g.Tasks),
+	}
+	eng.mm = newMemoryManager(eng, g)
+	eng.commuteHeld = make(map[int64]bool)
+	eng.commuteWaiters = make(map[int64][]func())
+	eng.workers = make([]simWorker, len(m.Units))
+	for i, u := range m.Units {
+		eng.workers[i] = simWorker{
+			info: runtime.WorkerInfo{ID: platform.UnitID(i), Arch: u.Arch, Mem: u.Mem},
+			unit: u,
+		}
+	}
+
+	est := opts.Estimator
+	if est == nil {
+		est = perfmodel.Oracle{}
+	}
+	env := runtime.NewEnv(m, g)
+	env.Model = est
+	env.Locator = eng.mm
+	env.Now = func() float64 { return eng.now }
+	env.Prefetch = func(t *runtime.Task, mem platform.MemID) {
+		eng.mm.prefetch(t, mem)
+	}
+	s.Init(env)
+
+	maxEvents := opts.MaxEvents
+	if maxEvents <= 0 {
+		maxEvents = 500_000_000
+	}
+
+	for _, t := range g.Roots(nil) {
+		t.ReadyAt = 0
+		s.Push(t)
+	}
+	for i := range eng.workers {
+		eng.wake(platform.UnitID(i))
+	}
+
+	for eng.pq.Len() > 0 && eng.left > 0 {
+		ev := heap.Pop(&eng.pq).(event)
+		if ev.at < eng.now {
+			return nil, fmt.Errorf("sim: time went backwards (%g < %g)", ev.at, eng.now)
+		}
+		eng.now = ev.at
+		ev.fn()
+		eng.events++
+		if eng.events > maxEvents {
+			return nil, fmt.Errorf("sim: exceeded %d events at t=%g with %d tasks left", maxEvents, eng.now, eng.left)
+		}
+	}
+	if eng.left > 0 {
+		return nil, fmt.Errorf("%w (%d of %d tasks unfinished at t=%g, scheduler %s)",
+			ErrDeadlock, eng.left, len(g.Tasks), eng.now, s.Name())
+	}
+	return eng, nil
+}
+
+// at schedules fn at time t (>= now).
+func (eng *Engine) at(t float64, fn func()) {
+	if t < eng.now {
+		t = eng.now
+	}
+	heap.Push(&eng.pq, event{at: t, seq: eng.nextSeq(), fn: fn})
+}
+
+func (eng *Engine) nextSeq() int64 {
+	eng.seq++
+	return eng.seq
+}
+
+// pipeline returns the per-worker task pipeline depth.
+func (eng *Engine) pipeline() int {
+	if eng.opts.Pipeline > 0 {
+		return eng.opts.Pipeline
+	}
+	return 2
+}
+
+// wake schedules a pop attempt for worker w unless one is pending.
+func (eng *Engine) wake(w platform.UnitID) {
+	wk := &eng.workers[w]
+	if !wk.canPop(eng.pipeline()) || wk.wakePending {
+		return
+	}
+	wk.wakePending = true
+	eng.at(eng.now, func() {
+		wk.wakePending = false
+		eng.tryPop(w)
+	})
+}
+
+// wakeAll wakes every worker with free pipeline slots. A single
+// coalesced drain event per batch of completions keeps the event count
+// linear in tasks rather than tasks × workers.
+func (eng *Engine) wakeAll() {
+	if eng.drainPending {
+		return
+	}
+	eng.drainPending = true
+	eng.at(eng.now, func() {
+		eng.drainPending = false
+		for i := range eng.workers {
+			wk := &eng.workers[i]
+			if wk.canPop(eng.pipeline()) && !wk.wakePending {
+				eng.tryPop(platform.UnitID(i))
+			}
+		}
+	})
+}
+
+// canPop reports whether worker w may take another task: its first task
+// when idle, or a lookahead task while a kernel is running. Lookahead
+// pops are deliberately one-at-a-time through queued wake events so
+// that same-instant pops of other idle workers interleave fairly.
+func (wk *simWorker) canPop(pipeline int) bool {
+	if wk.inflight == 0 {
+		return true
+	}
+	return wk.computing != nil && wk.inflight < pipeline
+}
+
+// tryPop takes at most one task for worker w and starts acquiring its
+// data immediately, overlapping the current compute as StarPU workers
+// with lookahead do.
+func (eng *Engine) tryPop(w platform.UnitID) {
+	wk := &eng.workers[w]
+	if !wk.canPop(eng.pipeline()) {
+		return
+	}
+	t := eng.sched.Pop(wk.info)
+	if t == nil {
+		return
+	}
+	if !t.Claimed() {
+		panic(fmt.Sprintf("sim: scheduler %s returned unclaimed task %d", eng.sched.Name(), t.ID))
+	}
+	wk.inflight++
+	eng.stageTask(t, wk)
+	if wk.canPop(eng.pipeline()) {
+		eng.wake(w)
+	}
+}
+
+// stageTask first takes the task's commute locks (a commuting update
+// must read its predecessor's result, so the lock gates the data
+// acquisition too), then acquires the data on the worker's memory node
+// and queues the task for the unit.
+func (eng *Engine) stageTask(t *runtime.Task, wk *simWorker) {
+	if !eng.tryLockCommute(t, func() { eng.stageTask(t, wk) }) {
+		return // parked until the commute lock frees
+	}
+	popAt := eng.now
+	t.RanOn = wk.info.ID
+	eng.mm.acquire(t, wk.info.Mem, func() {
+		wk.staged = append(wk.staged, stagedTask{t: t, popAt: popAt})
+		eng.maybeCompute(wk)
+	})
+}
+
+// maybeCompute starts the next staged task when the unit is free.
+func (eng *Engine) maybeCompute(wk *simWorker) {
+	if wk.computing != nil || len(wk.staged) == 0 {
+		return
+	}
+	st := wk.staged[0]
+	wk.staged = wk.staged[1:]
+	t := st.t
+	wk.computing = t
+	// Wait is the stretch the unit actually sat blocked on this task's
+	// transfers: from when it was both free and the task was popped.
+	blockedSince := st.popAt
+	if wk.freeAt > blockedSince {
+		blockedSince = wk.freeAt
+	}
+	wait := eng.now - blockedSince
+	t.StartAt = blockedSince
+	base, ok := t.BaseCost(wk.info.Arch)
+	if !ok {
+		panic(fmt.Sprintf("sim: task %d (%s) scheduled on arch without implementation", t.ID, t.Kind))
+	}
+	dur := base * wk.unit.SpeedFactor
+	if eng.opts.Noise > 0 {
+		f := 1 + eng.opts.Noise*eng.rng.NormFloat64()
+		if f < 0.2 {
+			f = 0.2
+		}
+		dur *= f
+	}
+	eng.at(eng.now+dur, func() {
+		eng.finishTask(t, wk, wait, dur)
+	})
+	// A kernel is now running: the lookahead slot may fill.
+	eng.wake(wk.info.ID)
+}
+
+// tryLockCommute acquires every commute lock of t, or parks the retry
+// continuation on the first busy lock.
+func (eng *Engine) tryLockCommute(t *runtime.Task, retry func()) bool {
+	hs := t.CommuteHandles(nil)
+	if len(hs) == 0 {
+		return true
+	}
+	for _, h := range hs {
+		if eng.commuteHeld[h.ID] {
+			eng.commuteWaiters[h.ID] = append(eng.commuteWaiters[h.ID], retry)
+			return false
+		}
+	}
+	for _, h := range hs {
+		eng.commuteHeld[h.ID] = true
+	}
+	return true
+}
+
+// unlockCommute releases t's commute locks and retries parked stages.
+func (eng *Engine) unlockCommute(t *runtime.Task) {
+	hs := t.CommuteHandles(nil)
+	for _, h := range hs {
+		delete(eng.commuteHeld, h.ID)
+		ws := eng.commuteWaiters[h.ID]
+		if len(ws) == 0 {
+			continue
+		}
+		delete(eng.commuteWaiters, h.ID)
+		for _, retry := range ws {
+			retry()
+		}
+	}
+}
+
+func (eng *Engine) finishTask(t *runtime.Task, wk *simWorker, wait, dur float64) {
+	t.EndAt = eng.now
+	// Write effects must land before the commute locks release: a
+	// parked successor retries synchronously inside unlockCommute and
+	// must see the post-write replica state.
+	eng.mm.release(t, wk.info.Mem)
+	eng.unlockCommute(t)
+	eng.tr.AddSpan(trace.Span{
+		Worker: wk.info.ID,
+		TaskID: t.ID,
+		Kind:   t.Kind,
+		Start:  t.StartAt,
+		End:    t.EndAt,
+		Wait:   wait,
+	})
+	if eng.opts.History != nil && wk.unit.SpeedFactor > 0 {
+		eng.opts.History.Record(t.Kind, wk.info.Arch, t.Footprint, dur/wk.unit.SpeedFactor)
+	}
+	eng.left--
+	for _, s := range t.Succs() {
+		if s.ReleaseDep() {
+			s.ReadyAt = eng.now
+			eng.sched.Push(s)
+		}
+	}
+	eng.sched.TaskDone(t, wk.info)
+	wk.computing = nil
+	wk.freeAt = eng.now
+	wk.inflight--
+	eng.maybeCompute(wk)
+	eng.wakeAll()
+}

@@ -1,0 +1,41 @@
+// Package sim is a discrete-event simulator of heterogeneous computing
+// nodes executing task graphs under a pluggable scheduler. It plays the
+// role StarPU-over-SimGrid plays in the paper (Section V-D, Fig. 4):
+// virtual time, per-unit execution speeds, PCIe links with bandwidth and
+// contention, GPU memory capacity with LRU eviction and write-back, and
+// background prefetch requests.
+//
+// The simulator is deterministic: events are ordered by (time, sequence
+// number) and all randomness flows from the seed in Options.
+package sim
+
+import "container/heap"
+
+// event is one scheduled simulator action.
+type event struct {
+	at  float64
+	seq int64
+	fn  func()
+}
+
+// eventQueue is a min-heap of events ordered by (time, seq).
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
+}
+
+var _ heap.Interface = (*eventQueue)(nil)

@@ -1,0 +1,392 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"multiprio/internal/platform"
+	"multiprio/internal/runtime"
+	"multiprio/internal/trace"
+)
+
+// replState is the coherence state of one (handle, memory node) replica.
+type replState uint8
+
+const (
+	replInvalid replState = iota
+	// replFetching: a transfer towards this node is in flight.
+	replFetching
+	replValid
+)
+
+// replica tracks one handle on one memory node.
+type replica struct {
+	state   replState
+	dirty   bool
+	pin     int
+	lastUse int64 // engine sequence number of last touch, for LRU
+	// waiters run when the replica becomes valid.
+	waiters []func()
+}
+
+// handleState is the per-handle coherence record.
+type handleState struct {
+	h    *runtime.DataHandle
+	repl []replica // indexed by MemID
+	// gen counts completed writes; transfers in flight across a write
+	// carry stale payloads and are dropped on arrival.
+	gen int64
+}
+
+// linkState serializes transfers on one directed link (FIFO: PCIe lane
+// contention).
+type linkState struct {
+	busyUntil float64
+}
+
+// memoryManager owns data placement: replica states, per-node capacity
+// accounting, LRU eviction with dirty write-back, and the transfer
+// engine. It implements runtime.DataLocator for the schedulers.
+type memoryManager struct {
+	eng      *Engine
+	machine  *platform.Machine
+	states   []*handleState // indexed by handle ID
+	used     []int64        // bytes resident or inbound per node
+	overflow []int64        // bytes accepted beyond capacity per node
+	resident [][]int64      // handle IDs with non-invalid replica per node
+	links    [][]linkState
+}
+
+func newMemoryManager(eng *Engine, g *runtime.Graph) *memoryManager {
+	m := eng.machine
+	mm := &memoryManager{
+		eng:      eng,
+		machine:  m,
+		states:   make([]*handleState, len(g.Handles)),
+		used:     make([]int64, len(m.Mems)),
+		overflow: make([]int64, len(m.Mems)),
+		resident: make([][]int64, len(m.Mems)),
+		links:    make([][]linkState, len(m.Mems)),
+	}
+	for i := range mm.links {
+		mm.links[i] = make([]linkState, len(m.Mems))
+	}
+	for _, h := range g.Handles {
+		if int(h.ID) >= len(mm.states) {
+			panic(fmt.Sprintf("sim: handle ID %d out of range", h.ID))
+		}
+		st := &handleState{h: h, repl: make([]replica, len(m.Mems))}
+		st.repl[h.Home] = replica{state: replValid}
+		mm.states[h.ID] = st
+		mm.used[h.Home] += h.Bytes
+		mm.resident[h.Home] = append(mm.resident[h.Home], h.ID)
+	}
+	return mm
+}
+
+// IsResident implements runtime.DataLocator.
+func (mm *memoryManager) IsResident(h *runtime.DataHandle, mem platform.MemID) bool {
+	return mm.states[h.ID].repl[mem].state == replValid
+}
+
+// TransferEstimate implements runtime.DataLocator: time to bring h to
+// mem from the closest valid replica, ignoring queueing.
+func (mm *memoryManager) TransferEstimate(h *runtime.DataHandle, mem platform.MemID) float64 {
+	st := mm.states[h.ID]
+	if st.repl[mem].state == replValid {
+		return 0
+	}
+	best := math.Inf(1)
+	for src := range st.repl {
+		if st.repl[src].state != replValid {
+			continue
+		}
+		if t := mm.machine.TransferTime(platform.MemID(src), mem, h.Bytes); t < best {
+			best = t
+		}
+	}
+	if math.IsInf(best, 1) {
+		// Sole copy in flight somewhere: approximate with home->mem.
+		return mm.machine.TransferTime(st.h.Home, mem, h.Bytes)
+	}
+	return best
+}
+
+// acquire pins all of t's data on mem, fetching what is missing, and
+// calls done when everything is available. Write-only accesses allocate
+// without fetching the previous contents.
+func (mm *memoryManager) acquire(t *runtime.Task, mem platform.MemID, done func()) {
+	type need struct {
+		h    *runtime.DataHandle
+		read bool
+	}
+	needs := make(map[int64]need, len(t.Accesses))
+	for _, a := range t.Accesses {
+		n, ok := needs[a.Handle.ID]
+		if !ok {
+			n = need{h: a.Handle}
+		}
+		if a.Mode.IsRead() {
+			n.read = true
+		}
+		needs[a.Handle.ID] = n
+	}
+	pending := 1 // sentinel so done runs once even with zero needs
+	ready := func() {
+		pending--
+		if pending == 0 {
+			done()
+		}
+	}
+	for _, n := range needs {
+		st := mm.states[n.h.ID]
+		r := &st.repl[mem]
+		r.pin++
+		r.lastUse = mm.eng.nextSeq()
+		switch {
+		case r.state == replValid:
+			// Already here.
+		case !n.read:
+			// Write-only: allocate space, no fetch of old contents.
+			// The state flips before allocate so the eviction scan
+			// inside allocate sees a live (non-evictable) entry.
+			if r.state == replInvalid {
+				r.state = replValid
+				mm.allocate(mem, n.h)
+			} else {
+				// A fetch is in flight (e.g. prefetch): let it land,
+				// the space is already accounted.
+				pending++
+				r.waiters = append(r.waiters, ready)
+			}
+		default:
+			pending++
+			mm.fetch(st, mem, false, ready)
+		}
+	}
+	ready() // consume the sentinel
+}
+
+// release unpins t's data on mem and applies write effects: written
+// handles become dirty sole copies on mem.
+func (mm *memoryManager) release(t *runtime.Task, mem platform.MemID) {
+	seen := make(map[int64]bool, len(t.Accesses))
+	for _, a := range t.Accesses {
+		st := mm.states[a.Handle.ID]
+		r := &st.repl[mem]
+		if !seen[a.Handle.ID] {
+			seen[a.Handle.ID] = true
+			r.pin--
+			if r.pin < 0 {
+				panic("sim: negative pin count")
+			}
+			r.lastUse = mm.eng.nextSeq()
+		}
+		if a.Mode.IsWrite() {
+			r.state = replValid
+			// Dirty means "RAM does not hold this value": meaningful
+			// only away from the RAM node (write-backs target RAM).
+			r.dirty = mem != platform.MemRAM
+			st.gen++ // in-flight fetches now carry stale payloads
+			for other := range st.repl {
+				if platform.MemID(other) == mem {
+					continue
+				}
+				o := &st.repl[other]
+				if o.state == replValid {
+					o.state = replInvalid
+					o.dirty = false
+					mm.used[other] -= st.h.Bytes
+				}
+			}
+		}
+	}
+}
+
+// prefetch stages t's read data on mem without pinning.
+func (mm *memoryManager) prefetch(t *runtime.Task, mem platform.MemID) {
+	for _, a := range t.Accesses {
+		if a.Mode == runtime.W {
+			continue
+		}
+		st := mm.states[a.Handle.ID]
+		if st.repl[mem].state == replInvalid {
+			mm.fetch(st, mem, true, nil)
+		}
+	}
+}
+
+// fetch brings st's handle to dst. cb (optional) runs when valid.
+func (mm *memoryManager) fetch(st *handleState, dst platform.MemID, isPrefetch bool, cb func()) {
+	r := &st.repl[dst]
+	switch r.state {
+	case replValid:
+		if cb != nil {
+			cb()
+		}
+		return
+	case replFetching:
+		if cb != nil {
+			r.waiters = append(r.waiters, cb)
+		}
+		return
+	}
+	// Pick the source: prefer RAM, then any valid replica.
+	src := platform.MemID(-1)
+	if st.repl[platform.MemRAM].state == replValid {
+		src = platform.MemRAM
+	} else {
+		for i := range st.repl {
+			if st.repl[i].state == replValid {
+				src = platform.MemID(i)
+				break
+			}
+		}
+	}
+	if src < 0 {
+		// The sole copy is in flight (e.g. an eviction write-back to
+		// RAM). Chain onto its arrival, then retry.
+		for i := range st.repl {
+			if st.repl[i].state == replFetching && platform.MemID(i) != dst {
+				target := &st.repl[i]
+				target.waiters = append(target.waiters, func() {
+					mm.fetch(st, dst, isPrefetch, cb)
+				})
+				return
+			}
+		}
+		panic(fmt.Sprintf("sim: handle %q has no valid or in-flight replica", st.h.Name))
+	}
+	r.state = replFetching
+	if cb != nil {
+		r.waiters = append(r.waiters, cb)
+	}
+	mm.allocate(dst, st.h)
+	mm.transfer(st, src, dst, isPrefetch, false)
+}
+
+// allocate reserves space for h on mem, evicting LRU unpinned replicas
+// when over capacity. Allocation never blocks: if nothing is evictable
+// the node overflows (counted, reported), which keeps the simulation
+// deadlock-free while still surfacing memory pressure.
+func (mm *memoryManager) allocate(mem platform.MemID, h *runtime.DataHandle) {
+	mm.used[mem] += h.Bytes
+	mm.resident[mem] = append(mm.resident[mem], h.ID)
+	cap := mm.machine.Mems[mem].CapacityBytes
+	if cap <= 0 {
+		return
+	}
+	for mm.used[mem] > cap {
+		if !mm.evictOne(mem, h.ID) {
+			mm.overflow[mem] += mm.used[mem] - cap
+			return
+		}
+	}
+}
+
+// evictOne drops the least-recently-used unpinned valid replica on mem,
+// write-backing dirty sole copies to RAM. Returns false when nothing is
+// evictable.
+func (mm *memoryManager) evictOne(mem platform.MemID, protect int64) bool {
+	list := mm.resident[mem]
+	bestIdx := -1
+	var bestSeq int64 = math.MaxInt64
+	w := 0
+	for _, id := range list {
+		st := mm.states[id]
+		r := &st.repl[mem]
+		if r.state == replInvalid {
+			continue // lazily compact entries of invalidated replicas
+		}
+		list[w] = id
+		if r.state == replValid && r.pin == 0 && id != protect && r.lastUse < bestSeq {
+			bestSeq = r.lastUse
+			bestIdx = w
+		}
+		w++
+	}
+	mm.resident[mem] = list[:w]
+	if bestIdx < 0 {
+		return false
+	}
+	id := mm.resident[mem][bestIdx]
+	st := mm.states[id]
+	r := &st.repl[mem]
+	if r.dirty {
+		// Sole copy: push it back to RAM. The bytes leave this node
+		// now; readers chase the RAM replica which is replFetching
+		// until the write-back lands.
+		ram := &st.repl[platform.MemRAM]
+		if ram.state == replValid {
+			panic("sim: dirty replica coexists with valid RAM copy")
+		}
+		if ram.state == replInvalid {
+			ram.state = replFetching
+			mm.used[platform.MemRAM] += st.h.Bytes
+			mm.resident[platform.MemRAM] = append(mm.resident[platform.MemRAM], id)
+			mm.transfer(st, mem, platform.MemRAM, false, true)
+		}
+	}
+	r.state = replInvalid
+	r.dirty = false
+	mm.used[mem] -= st.h.Bytes
+	mm.resident[mem] = append(mm.resident[mem][:bestIdx], mm.resident[mem][bestIdx+1:]...)
+	return true
+}
+
+// transfer schedules the movement of st's handle from src to dst on the
+// FIFO link and marks dst valid on arrival.
+func (mm *memoryManager) transfer(st *handleState, src, dst platform.MemID, isPrefetch, isWriteback bool) {
+	link := &mm.links[src][dst]
+	now := mm.eng.now
+	start := now
+	if link.busyUntil > start {
+		start = link.busyUntil
+	}
+	dur := mm.machine.TransferTime(src, dst, st.h.Bytes)
+	end := start + dur
+	link.busyUntil = end
+	if mm.eng.tr != nil {
+		mm.eng.tr.AddTransfer(trace.Transfer{
+			Handle: st.h.ID, Src: src, Dst: dst, Bytes: st.h.Bytes,
+			Start: start, End: end, Prefetch: isPrefetch, Writeback: isWriteback,
+		})
+	}
+	gen := st.gen
+	mm.eng.at(end, func() {
+		r := &st.repl[dst]
+		if r.state != replFetching {
+			return // replica was torn down while in flight
+		}
+		if st.gen != gen {
+			// A write completed elsewhere during the flight: the
+			// payload is stale. Drop it and re-fetch the fresh value
+			// for anyone still waiting.
+			r.state = replInvalid
+			mm.used[dst] -= st.h.Bytes
+			ws := r.waiters
+			r.waiters = nil
+			for _, w := range ws {
+				mm.fetch(st, dst, false, w)
+			}
+			return
+		}
+		r.state = replValid
+		r.lastUse = mm.eng.nextSeq()
+		if dst == platform.MemRAM {
+			// RAM now holds the current value: no replica is the sole
+			// (dirty) copy anymore.
+			for i := range st.repl {
+				st.repl[i].dirty = false
+			}
+		}
+		ws := r.waiters
+		r.waiters = nil
+		for _, w := range ws {
+			w()
+		}
+	})
+}
+
+// residentBytes returns the bytes counted on mem (for tests/reports).
+func (mm *memoryManager) residentBytes(mem platform.MemID) int64 { return mm.used[mem] }

@@ -1,0 +1,107 @@
+package trace
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// chromeEvent is one entry of the Chrome trace-event format (the
+// "trace_event" JSON consumed by chrome://tracing and Perfetto), the
+// modern equivalent of the Paje traces StarVZ renders.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	TS   float64           `json:"ts"`  // microseconds
+	Dur  float64           `json:"dur"` // microseconds
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// WriteChromeTrace renders the trace in Chrome trace-event JSON: one
+// complete ("X") event per task span on its worker row, and one per
+// transfer on a per-link row. Load the output in chrome://tracing or
+// https://ui.perfetto.dev to get the paper's Fig. 4-style Gantt view.
+func (tr *Trace) WriteChromeTrace(w io.Writer) error {
+	events := make([]chromeEvent, 0, len(tr.Spans)+len(tr.Xfers)+8)
+	for u, unit := range tr.Machine.Units {
+		events = append(events, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: 0, TID: u,
+			Args: map[string]string{"name": unit.Name},
+		})
+	}
+	for _, s := range tr.Spans {
+		ev := chromeEvent{
+			Name: s.Kind, Cat: "task", Ph: "X",
+			TS: s.Start * 1e6, Dur: (s.End - s.Start) * 1e6,
+			PID: 0, TID: int(s.Worker),
+			Args: map[string]string{"task": strconv.FormatInt(s.TaskID, 10)},
+		}
+		if s.Wait > 0 {
+			ev.Args["transfer_wait_us"] = strconv.FormatFloat(s.Wait*1e6, 'f', 1, 64)
+		}
+		events = append(events, ev)
+	}
+	linkRow := len(tr.Machine.Units)
+	linkTIDs := map[[2]int]int{}
+	for _, x := range tr.Xfers {
+		key := [2]int{int(x.Src), int(x.Dst)}
+		tid, ok := linkTIDs[key]
+		if !ok {
+			tid = linkRow
+			linkRow++
+			linkTIDs[key] = tid
+			events = append(events, chromeEvent{
+				Name: "thread_name", Ph: "M", PID: 1, TID: tid,
+				Args: map[string]string{"name": fmt.Sprintf("link %s->%s",
+					tr.Machine.Mems[x.Src].Name, tr.Machine.Mems[x.Dst].Name)},
+			})
+		}
+		cat := "fetch"
+		switch {
+		case x.Writeback:
+			cat = "writeback"
+		case x.Prefetch:
+			cat = "prefetch"
+		}
+		events = append(events, chromeEvent{
+			Name: fmt.Sprintf("h%d (%d B)", x.Handle, x.Bytes),
+			Cat:  cat, Ph: "X",
+			TS: x.Start * 1e6, Dur: (x.End - x.Start) * 1e6,
+			PID: 1, TID: tid,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{"traceEvents": events})
+}
+
+// WriteCSV renders the task spans as a flat CSV (worker, arch, kind,
+// task, start, end, wait) for analysis in R/pandas, the role StarVZ's
+// parsed Paje data plays in the paper's workflow.
+func (tr *Trace) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"worker", "arch", "kind", "task", "start", "end", "wait"}); err != nil {
+		return err
+	}
+	for _, s := range tr.Spans {
+		unit := tr.Machine.Units[s.Worker]
+		rec := []string{
+			unit.Name,
+			tr.Machine.ArchName(unit.Arch),
+			s.Kind,
+			strconv.FormatInt(s.TaskID, 10),
+			strconv.FormatFloat(s.Start, 'g', -1, 64),
+			strconv.FormatFloat(s.End, 'g', -1, 64),
+			strconv.FormatFloat(s.Wait, 'g', -1, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,83 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"multiprio/internal/platform"
+)
+
+func sampleTrace() *Trace {
+	m := platform.IntelV100(platform.Config{})
+	tr := New(m)
+	tr.AddSpan(Span{Worker: 0, TaskID: 1, Kind: "potrf", Start: 0, End: 0.5})
+	tr.AddSpan(Span{Worker: 30, TaskID: 2, Kind: "gemm", Start: 0.1, End: 0.9, Wait: 0.2})
+	tr.AddTransfer(Transfer{Handle: 3, Src: 0, Dst: 1, Bytes: 1024, Start: 0, End: 0.1})
+	tr.AddTransfer(Transfer{Handle: 4, Src: 1, Dst: 0, Bytes: 2048, Start: 0.2, End: 0.3, Writeback: true})
+	return tr
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleTrace().WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	var tasks, meta, xfers int
+	for _, ev := range doc.TraceEvents {
+		switch ev["ph"] {
+		case "M":
+			meta++
+		case "X":
+			if ev["cat"] == "task" {
+				tasks++
+				if ev["dur"].(float64) <= 0 {
+					t.Error("task event with non-positive duration")
+				}
+			} else {
+				xfers++
+			}
+		}
+	}
+	if tasks != 2 {
+		t.Errorf("task events = %d, want 2", tasks)
+	}
+	if xfers != 2 {
+		t.Errorf("transfer events = %d, want 2", xfers)
+	}
+	if meta < 32 {
+		t.Errorf("metadata events = %d, want at least one per unit", meta)
+	}
+	if !strings.Contains(buf.String(), "writeback") {
+		t.Error("writeback category missing")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleTrace().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r := csv.NewReader(&buf)
+	recs, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 { // header + 2 spans
+		t.Fatalf("rows = %d, want 3", len(recs))
+	}
+	if recs[0][0] != "worker" || recs[1][2] != "potrf" {
+		t.Errorf("unexpected CSV content: %v", recs)
+	}
+	if recs[2][1] != "gpu" {
+		t.Errorf("worker 30 should be a GPU unit, got arch %q", recs[2][1])
+	}
+}

@@ -1,0 +1,222 @@
+// Package trace records execution traces of simulated or threaded runs
+// and derives the metrics the paper reports: makespan, per-resource idle
+// percentage (Fig. 4), transferred bytes, and the practical critical
+// path. It also renders ASCII Gantt charts in the spirit of StarVZ.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"multiprio/internal/platform"
+	"multiprio/internal/runtime"
+)
+
+// Span is one busy interval of a resource.
+type Span struct {
+	Worker platform.UnitID
+	TaskID int64
+	Kind   string
+	Start  float64
+	End    float64
+	// Wait is the portion of [Start, End] spent waiting for data
+	// transfers before the kernel actually ran.
+	Wait float64
+}
+
+// Transfer is one data movement between memory nodes.
+type Transfer struct {
+	Handle   int64
+	Src, Dst platform.MemID
+	Bytes    int64
+	Start    float64
+	End      float64
+	Prefetch bool
+	// Writeback marks evictions flushing a dirty replica to RAM.
+	Writeback bool
+}
+
+// Trace accumulates the events of one run.
+type Trace struct {
+	Machine  *platform.Machine
+	Spans    []Span
+	Xfers    []Transfer
+	Makespan float64
+}
+
+// New returns an empty trace for machine m.
+func New(m *platform.Machine) *Trace {
+	return &Trace{Machine: m}
+}
+
+// AddSpan records a task execution interval.
+func (tr *Trace) AddSpan(s Span) {
+	tr.Spans = append(tr.Spans, s)
+	if s.End > tr.Makespan {
+		tr.Makespan = s.End
+	}
+}
+
+// AddTransfer records a data transfer.
+func (tr *Trace) AddTransfer(x Transfer) { tr.Xfers = append(tr.Xfers, x) }
+
+// BusyTime returns the total busy (executing or transfer-waiting) time of
+// worker w.
+func (tr *Trace) BusyTime(w platform.UnitID) float64 {
+	var sum float64
+	for _, s := range tr.Spans {
+		if s.Worker == w {
+			sum += s.End - s.Start
+		}
+	}
+	return sum
+}
+
+// IdlePercent returns the idle share of worker w over the makespan, in
+// percent — the left-hand annotation of the paper's Fig. 4 traces.
+func (tr *Trace) IdlePercent(w platform.UnitID) float64 {
+	if tr.Makespan <= 0 {
+		return 0
+	}
+	idle := 1 - tr.BusyTime(w)/tr.Makespan
+	if idle < 0 {
+		idle = 0
+	}
+	return 100 * idle
+}
+
+// ArchIdlePercent averages IdlePercent over the workers of arch a.
+func (tr *Trace) ArchIdlePercent(a platform.ArchID) float64 {
+	units := tr.Machine.UnitsOf(a)
+	if len(units) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, u := range units {
+		sum += tr.IdlePercent(u)
+	}
+	return sum / float64(len(units))
+}
+
+// TransferredBytes sums the payload of all recorded transfers, split by
+// class.
+func (tr *Trace) TransferredBytes() (fetch, prefetch, writeback int64) {
+	for _, x := range tr.Xfers {
+		switch {
+		case x.Writeback:
+			writeback += x.Bytes
+		case x.Prefetch:
+			prefetch += x.Bytes
+		default:
+			fetch += x.Bytes
+		}
+	}
+	return
+}
+
+// TaskCount returns the number of executed task spans.
+func (tr *Trace) TaskCount() int { return len(tr.Spans) }
+
+// Summary renders a compact per-architecture report.
+func (tr *Trace) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "makespan %.4fs, %d tasks\n", tr.Makespan, len(tr.Spans))
+	for a := range tr.Machine.Archs {
+		arch := platform.ArchID(a)
+		fmt.Fprintf(&b, "  %-4s ×%-3d idle %5.1f%%\n",
+			tr.Machine.ArchName(arch), tr.Machine.NumWorkersOf(arch), tr.ArchIdlePercent(arch))
+	}
+	f, p, wb := tr.TransferredBytes()
+	if f+p+wb > 0 {
+		fmt.Fprintf(&b, "  transfers: fetch %.1f MiB, prefetch %.1f MiB, writeback %.1f MiB\n",
+			float64(f)/float64(platform.MiB), float64(p)/float64(platform.MiB), float64(wb)/float64(platform.MiB))
+	}
+	return b.String()
+}
+
+// Gantt renders an ASCII Gantt chart with the given column width. Each
+// row is a worker; '.' is idle, a letter is the initial of the running
+// kernel, '~' marks transfer wait. Rows are ordered by unit ID.
+func (tr *Trace) Gantt(width int) string {
+	if width < 10 {
+		width = 10
+	}
+	if tr.Makespan <= 0 || len(tr.Spans) == 0 {
+		return "(empty trace)\n"
+	}
+	rows := make(map[platform.UnitID][]rune)
+	for u := range tr.Machine.Units {
+		row := make([]rune, width)
+		for i := range row {
+			row[i] = '.'
+		}
+		rows[platform.UnitID(u)] = row
+	}
+	scale := float64(width) / tr.Makespan
+	for _, s := range tr.Spans {
+		row := rows[s.Worker]
+		c := '?'
+		if len(s.Kind) > 0 {
+			c = rune(s.Kind[0])
+		}
+		i0 := int(s.Start * scale)
+		i1 := int(s.End * scale)
+		if i1 >= width {
+			i1 = width - 1
+		}
+		waitEnd := int((s.Start + s.Wait) * scale)
+		for i := i0; i <= i1; i++ {
+			if i < waitEnd {
+				row[i] = '~'
+			} else {
+				row[i] = c
+			}
+		}
+	}
+	var b strings.Builder
+	units := make([]int, 0, len(rows))
+	for u := range rows {
+		units = append(units, int(u))
+	}
+	sort.Ints(units)
+	for _, u := range units {
+		unit := tr.Machine.Units[u]
+		fmt.Fprintf(&b, "%-10s |%s| idle %5.1f%%\n", unit.Name, string(rows[platform.UnitID(u)]), tr.IdlePercent(platform.UnitID(u)))
+	}
+	fmt.Fprintf(&b, "%-10s  0%*s%.4fs\n", "", width-len(fmt.Sprintf("%.4fs", tr.Makespan))+1, "", tr.Makespan)
+	return b.String()
+}
+
+// PracticalCriticalPath walks the executed DAG backwards from the task
+// that finished last, at each step following the predecessor that
+// finished latest — the chain of tasks that actually determined the
+// makespan (the red-bordered tasks of the paper's Fig. 4). The returned
+// slice is ordered from first to last task.
+func PracticalCriticalPath(g *runtime.Graph) []*runtime.Task {
+	var last *runtime.Task
+	for _, t := range g.Tasks {
+		if t.EndAt > 0 && (last == nil || t.EndAt > last.EndAt) {
+			last = t
+		}
+	}
+	if last == nil {
+		return nil
+	}
+	var path []*runtime.Task
+	for t := last; t != nil; {
+		path = append(path, t)
+		var next *runtime.Task
+		for _, p := range g.Preds(t) {
+			if next == nil || p.EndAt > next.EndAt {
+				next = p
+			}
+		}
+		t = next
+	}
+	// Reverse in place.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path
+}

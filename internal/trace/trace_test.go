@@ -1,0 +1,112 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"multiprio/internal/platform"
+	"multiprio/internal/runtime"
+)
+
+func twoWorkerMachine() *platform.Machine {
+	return platform.CPUOnly(2)
+}
+
+func TestIdlePercent(t *testing.T) {
+	tr := New(twoWorkerMachine())
+	tr.AddSpan(Span{Worker: 0, Kind: "a", Start: 0, End: 10})
+	tr.AddSpan(Span{Worker: 1, Kind: "b", Start: 0, End: 5})
+	if tr.Makespan != 10 {
+		t.Fatalf("makespan = %v, want 10", tr.Makespan)
+	}
+	if got := tr.IdlePercent(0); got != 0 {
+		t.Errorf("worker 0 idle = %v, want 0", got)
+	}
+	if got := tr.IdlePercent(1); math.Abs(got-50) > 1e-9 {
+		t.Errorf("worker 1 idle = %v, want 50", got)
+	}
+	if got := tr.ArchIdlePercent(platform.ArchCPU); math.Abs(got-25) > 1e-9 {
+		t.Errorf("arch idle = %v, want 25", got)
+	}
+}
+
+func TestIdlePercentEmptyTrace(t *testing.T) {
+	tr := New(twoWorkerMachine())
+	if tr.IdlePercent(0) != 0 {
+		t.Error("empty trace should report 0 idle")
+	}
+	if !strings.Contains(tr.Gantt(40), "empty") {
+		t.Error("empty Gantt should say so")
+	}
+}
+
+func TestTransferredBytesByClass(t *testing.T) {
+	tr := New(twoWorkerMachine())
+	tr.AddTransfer(Transfer{Bytes: 100})
+	tr.AddTransfer(Transfer{Bytes: 10, Prefetch: true})
+	tr.AddTransfer(Transfer{Bytes: 1, Writeback: true})
+	f, p, w := tr.TransferredBytes()
+	if f != 100 || p != 10 || w != 1 {
+		t.Errorf("TransferredBytes = %d, %d, %d", f, p, w)
+	}
+}
+
+func TestGanttRendersKernels(t *testing.T) {
+	tr := New(twoWorkerMachine())
+	tr.AddSpan(Span{Worker: 0, Kind: "potrf", Start: 0, End: 5})
+	tr.AddSpan(Span{Worker: 0, Kind: "gemm", Start: 5, End: 10, Wait: 2})
+	tr.AddSpan(Span{Worker: 1, Kind: "trsm", Start: 0, End: 10})
+	g := tr.Gantt(40)
+	for _, want := range []string{"p", "g", "t", "~", "cpu0", "cpu1", "idle"} {
+		if !strings.Contains(g, want) {
+			t.Errorf("Gantt missing %q:\n%s", want, g)
+		}
+	}
+}
+
+func TestSummary(t *testing.T) {
+	tr := New(twoWorkerMachine())
+	tr.AddSpan(Span{Worker: 0, Kind: "a", Start: 0, End: 1})
+	tr.AddTransfer(Transfer{Bytes: 1 << 20})
+	s := tr.Summary()
+	if !strings.Contains(s, "makespan") || !strings.Contains(s, "transfers") {
+		t.Errorf("Summary = %q", s)
+	}
+}
+
+func TestPracticalCriticalPath(t *testing.T) {
+	g := runtime.NewGraph()
+	h := g.NewData("x", 8)
+	a := g.Submit(&runtime.Task{Kind: "a", Cost: []float64{1}, Accesses: []runtime.Access{{Handle: h, Mode: runtime.W}}})
+	b := g.Submit(&runtime.Task{Kind: "b", Cost: []float64{1}, Accesses: []runtime.Access{{Handle: h, Mode: runtime.RW}}})
+	c := g.Submit(&runtime.Task{Kind: "c", Cost: []float64{1}}) // independent, fast
+	a.StartAt, a.EndAt = 0, 1
+	b.StartAt, b.EndAt = 1, 3
+	c.StartAt, c.EndAt = 0, 0.5
+
+	path := PracticalCriticalPath(g)
+	if len(path) != 2 || path[0] != a || path[1] != b {
+		t.Errorf("critical path = %v, want [a b]", names(path))
+	}
+}
+
+func TestPracticalCriticalPathEmpty(t *testing.T) {
+	g := runtime.NewGraph()
+	if p := PracticalCriticalPath(g); p != nil {
+		t.Errorf("critical path of empty graph = %v", p)
+	}
+	// Unexecuted graph (EndAt zero everywhere) also yields nil.
+	g.Submit(&runtime.Task{Kind: "a", Cost: []float64{1}})
+	if p := PracticalCriticalPath(g); p != nil {
+		t.Errorf("critical path of unexecuted graph = %v", p)
+	}
+}
+
+func names(ts []*runtime.Task) []string {
+	out := make([]string, len(ts))
+	for i, t := range ts {
+		out[i] = t.Kind
+	}
+	return out
+}
