@@ -1,0 +1,55 @@
+// Package examples_test compiles and runs every example program with
+// tiny parameters, asserting a zero exit status and non-empty output.
+// The examples are the repository's user-facing entry points; they must
+// never rot silently.
+package examples_test
+
+import (
+	"context"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestExamplesSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles and runs subprocesses")
+	}
+	bin := t.TempDir()
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"quickstart", nil},
+		{"cholesky", []string{"-tiles", "4", "-tile", "64"}},
+		// 3 tiles is the smallest factorization that emits every kernel
+		// kind (one gemm); calibrate requires samples for all four.
+		{"calibrate", []string{"-tiles", "3", "-tile", "32", "-out", filepath.Join(bin, "perfmodel.json")}},
+		{"fmm", []string{"-particles", "500", "-height", "3"}},
+		{"hierarchical", []string{"-blocks", "2", "-sub", "2", "-tile", "64", "-out", bin}},
+		{"sparseqr", []string{"-matrix", "cat_ears_4_4"}},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+			defer cancel()
+			exe := filepath.Join(bin, c.name)
+			build := exec.CommandContext(ctx, "go", "build", "-o", exe, "./"+c.name)
+			if out, err := build.CombinedOutput(); err != nil {
+				t.Fatalf("go build ./examples/%s: %v\n%s", c.name, err, out)
+			}
+			run := exec.CommandContext(ctx, exe, c.args...)
+			out, err := run.CombinedOutput()
+			if err != nil {
+				t.Fatalf("%s %v: %v\n%s", c.name, c.args, err, out)
+			}
+			if len(out) == 0 {
+				t.Fatalf("%s produced no output", c.name)
+			}
+			t.Logf("%s: %d bytes of output", c.name, len(out))
+		})
+	}
+}

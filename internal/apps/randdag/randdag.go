@@ -28,6 +28,11 @@ type Params struct {
 	// GranularitySpread is the ratio between the largest and smallest
 	// task costs (log-uniform). Defaults 10.
 	GranularitySpread float64
+	// CommuteShare is the fraction of tasks that additionally update a
+	// shared accumulator handle in Commute mode (TBFMM-style force
+	// reductions), exercising the engines' execution-time mutual
+	// exclusion. Default 0.
+	CommuteShare float64
 	// MeanCost is the average CPU execution time in seconds. Defaults
 	// 5 ms.
 	MeanCost float64
@@ -65,6 +70,14 @@ func Build(p Params) *runtime.Graph {
 	rng := rand.New(rand.NewSource(p.Seed))
 	g := runtime.NewGraph()
 
+	// Commuting tasks all update one shared accumulator; created lazily
+	// so CommuteShare == 0 leaves the random stream of existing seeds
+	// untouched.
+	var accum *runtime.DataHandle
+	if p.CommuteShare > 0 {
+		accum = g.NewData("acc", 4096)
+	}
+
 	// One output handle per task; an edge is expressed as the consumer
 	// reading the producer's output.
 	outs := make([][]*runtime.DataHandle, p.Layers)
@@ -96,6 +109,9 @@ func Build(p Params) *runtime.Graph {
 						acc = append(acc, runtime.Access{Handle: outs[l-1][j], Mode: runtime.R})
 					}
 				}
+			}
+			if accum != nil && rng.Float64() < p.CommuteShare {
+				acc = append(acc, runtime.Access{Handle: accum, Mode: runtime.Commute})
 			}
 			g.Submit(&runtime.Task{
 				Kind:      kind,

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files with the current output")
+
+// checkGolden compares got against testdata/<name> and fails with the
+// first divergent line. Running `go test ./internal/experiments -update`
+// rewrites the files after an intentional output change.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create it): %v", err)
+	}
+	if bytes.Equal(got, want) {
+		return
+	}
+	gl, wl := bytes.Split(got, []byte("\n")), bytes.Split(want, []byte("\n"))
+	for i := 0; i < len(gl) || i < len(wl); i++ {
+		var g, w []byte
+		if i < len(gl) {
+			g = gl[i]
+		}
+		if i < len(wl) {
+			w = wl[i]
+		}
+		if !bytes.Equal(g, w) {
+			t.Fatalf("%s differs at line %d:\n got: %s\nwant: %s", name, i+1, g, w)
+		}
+	}
+}
+
+// TestGoldenTable2 pins the Table II worked example: the gain values
+// flow through the actual scheduler code path, so any regression in the
+// gain heuristic shows up as a diff here.
+func TestGoldenTable2(t *testing.T) {
+	r, err := RunTable2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b bytes.Buffer
+	r.Print(&b)
+	checkGolden(t, "table2.golden", b.Bytes())
+}
+
+// TestGoldenFig3 pins the NOD criticality worked example (paper values
+// 2.5 and 1.0).
+func TestGoldenFig3(t *testing.T) {
+	r, err := RunFig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b bytes.Buffer
+	r.Print(&b)
+	checkGolden(t, "fig3.golden", b.Bytes())
+}
+
+// TestGoldenFig4Quick pins the quick-scale eviction experiment summary.
+// Beyond the headline numbers, this is a standing end-to-end
+// determinism check: the simulator must reproduce the exact makespans
+// and eviction counts on every run.
+func TestGoldenFig4Quick(t *testing.T) {
+	r, err := RunFig4(Quick, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b bytes.Buffer
+	r.Print(&b)
+	checkGolden(t, "fig4_quick.golden", b.Bytes())
+}

@@ -1,0 +1,230 @@
+// Package oracle is the execution-validity authority of the repository:
+// given an application graph and the trace of a finished run (simulated
+// or threaded), it asserts that the run was *correct* irrespective of
+// the scheduling policy that produced it.
+//
+// The invariants, in the spirit of the validity oracles of
+// simulator-based scheduling frameworks (HeSP, STOMP):
+//
+//   - every submitted task executed exactly once, was claimed, and its
+//     execution record matches its trace span;
+//   - every task ran on an architecture for which it has a finite cost;
+//   - start times respect every inferred dependency (a task never
+//     starts before all predecessors ended);
+//   - tasks sharing a Commute-mode handle never overlap in kernel time
+//     (the engines' execution-time mutual exclusion);
+//   - one worker never runs two kernels at once;
+//   - the reported makespan equals the latest span end;
+//   - when the trace carries memory events (simulator runs with
+//     CollectMemEvents), a full coherence replay: every read observes
+//     the last writer's version of each handle, replica allocations and
+//     frees balance, and node capacities are never exceeded beyond the
+//     overflow the engine itself reported.
+//
+// The oracle is pure observation: it never mutates the graph or trace.
+package oracle
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"multiprio/internal/platform"
+	"multiprio/internal/runtime"
+	"multiprio/internal/trace"
+)
+
+// Options tunes a conformance check.
+type Options struct {
+	// Eps is the tolerance for timestamp comparisons. The discrete-event
+	// simulator is exact (0 works); wall-clock engines may pass a small
+	// slack for clock granularity.
+	Eps float64
+	// OverflowBytes is the per-node memory overflow the simulator itself
+	// reported (sim.Result.OverflowBytes). The capacity replay tolerates
+	// overshoot only on nodes with a non-zero reported overflow; nil
+	// means any overshoot is a violation.
+	OverflowBytes []int64
+}
+
+// maxViolations bounds the error report; past this the run is broken
+// enough that more detail does not help.
+const maxViolations = 25
+
+type checker struct {
+	g    *runtime.Graph
+	tr   *trace.Trace
+	m    *platform.Machine
+	opts Options
+
+	spanOf map[int64]*trace.Span
+	errs   []error
+}
+
+func (c *checker) failf(format string, args ...any) {
+	if len(c.errs) < maxViolations {
+		c.errs = append(c.errs, fmt.Errorf(format, args...))
+	} else if len(c.errs) == maxViolations {
+		c.errs = append(c.errs, errors.New("oracle: further violations suppressed"))
+	}
+}
+
+// Check validates the finished run recorded in tr against the graph it
+// executed. It returns nil when every invariant holds, or an error
+// joining every violation found.
+func Check(g *runtime.Graph, tr *trace.Trace, opts Options) error {
+	if tr == nil || tr.Machine == nil {
+		return errors.New("oracle: trace without machine")
+	}
+	c := &checker{g: g, tr: tr, m: tr.Machine, opts: opts}
+	c.checkSpans()
+	if len(c.errs) == 0 {
+		// The remaining invariants read spans by task; they only make
+		// sense once every task has exactly one well-formed span.
+		c.checkDependencies()
+		c.checkCommuteExclusivity()
+		c.checkWorkerSerialization()
+		c.checkMakespan()
+		if len(tr.MemEvents) > 0 {
+			c.replayMemory()
+		}
+	}
+	return errors.Join(c.errs...)
+}
+
+// checkSpans verifies the exactly-once property and the per-span
+// execution records.
+func (c *checker) checkSpans() {
+	c.spanOf = make(map[int64]*trace.Span, len(c.tr.Spans))
+	taskByID := make(map[int64]*runtime.Task, len(c.g.Tasks))
+	for _, t := range c.g.Tasks {
+		taskByID[t.ID] = t
+	}
+	for i := range c.tr.Spans {
+		s := &c.tr.Spans[i]
+		t, known := taskByID[s.TaskID]
+		if !known {
+			c.failf("oracle: span for unknown task %d", s.TaskID)
+			continue
+		}
+		if prev, dup := c.spanOf[s.TaskID]; dup {
+			c.failf("oracle: task %d executed twice (spans on workers %d and %d)", s.TaskID, prev.Worker, s.Worker)
+			continue
+		}
+		c.spanOf[s.TaskID] = s
+		if s.Worker < 0 || int(s.Worker) >= len(c.m.Units) {
+			c.failf("oracle: task %d ran on unknown worker %d", s.TaskID, s.Worker)
+			continue
+		}
+		if s.End < s.Start-c.opts.Eps || s.Start < -c.opts.Eps {
+			c.failf("oracle: task %d has inverted span [%g, %g]", s.TaskID, s.Start, s.End)
+		}
+		if s.Wait < 0 || s.Wait > s.End-s.Start+c.opts.Eps {
+			c.failf("oracle: task %d has wait %g outside its span [%g, %g]", s.TaskID, s.Wait, s.Start, s.End)
+		}
+		arch := c.m.Units[s.Worker].Arch
+		if cost, ok := t.BaseCost(arch); !ok {
+			c.failf("oracle: task %d (%s) ran on arch %s without a finite cost", t.ID, t.Kind, c.m.ArchName(arch))
+		} else if cost <= 0 {
+			c.failf("oracle: task %d (%s) has non-positive cost %g on arch %s", t.ID, t.Kind, cost, c.m.ArchName(arch))
+		}
+		if !t.Claimed() {
+			c.failf("oracle: task %d executed without being claimed", t.ID)
+		}
+		if t.RanOn != s.Worker {
+			c.failf("oracle: task %d records worker %d but its span is on worker %d", t.ID, t.RanOn, s.Worker)
+		}
+		if diff(t.StartAt, s.Start) > c.opts.Eps || diff(t.EndAt, s.End) > c.opts.Eps {
+			c.failf("oracle: task %d execution record [%g, %g] disagrees with span [%g, %g]",
+				t.ID, t.StartAt, t.EndAt, s.Start, s.End)
+		}
+	}
+	for _, t := range c.g.Tasks {
+		if _, ok := c.spanOf[t.ID]; !ok {
+			c.failf("oracle: task %d (%s) never executed", t.ID, t.Kind)
+		}
+	}
+}
+
+// checkDependencies verifies that no task started before every
+// predecessor ended.
+func (c *checker) checkDependencies() {
+	for _, t := range c.g.Tasks {
+		s := c.spanOf[t.ID]
+		for _, p := range c.g.Preds(t) {
+			ps := c.spanOf[p.ID]
+			if ps.End > s.Start+c.opts.Eps {
+				c.failf("oracle: dependency violated: task %d ends at %g after successor %d starts at %g",
+					p.ID, ps.End, t.ID, s.Start)
+			}
+		}
+	}
+}
+
+// kernelStart is the instant the kernel actually began computing: the
+// span start plus the transfer wait.
+func kernelStart(s *trace.Span) float64 { return s.Start + s.Wait }
+
+// checkCommuteExclusivity verifies that commutative updaters of one
+// handle never overlapped in kernel time: they carry no dependency
+// edges among themselves, so exclusivity is purely the engines'
+// execution-time locking.
+func (c *checker) checkCommuteExclusivity() {
+	byHandle := make(map[int64][]*trace.Span)
+	for _, t := range c.g.Tasks {
+		for _, h := range t.CommuteHandles(nil) {
+			byHandle[h.ID] = append(byHandle[h.ID], c.spanOf[t.ID])
+		}
+	}
+	for h, spans := range byHandle {
+		sort.Slice(spans, func(i, j int) bool { return kernelStart(spans[i]) < kernelStart(spans[j]) })
+		for i := 1; i < len(spans); i++ {
+			prev, cur := spans[i-1], spans[i]
+			if prev.End > kernelStart(cur)+c.opts.Eps {
+				c.failf("oracle: commute exclusivity violated on handle %d: task %d computes until %g, task %d starts at %g",
+					h, prev.TaskID, prev.End, cur.TaskID, kernelStart(cur))
+			}
+		}
+	}
+}
+
+// checkWorkerSerialization verifies that each worker ran one task at a
+// time (full spans, including transfer wait, must not interleave).
+func (c *checker) checkWorkerSerialization() {
+	byWorker := make(map[platform.UnitID][]*trace.Span)
+	for i := range c.tr.Spans {
+		s := &c.tr.Spans[i]
+		byWorker[s.Worker] = append(byWorker[s.Worker], s)
+	}
+	for w, spans := range byWorker {
+		sort.Slice(spans, func(i, j int) bool { return spans[i].Start < spans[j].Start })
+		for i := 1; i < len(spans); i++ {
+			prev, cur := spans[i-1], spans[i]
+			if prev.End > cur.Start+c.opts.Eps {
+				c.failf("oracle: worker %d overlap: task %d runs [%g, %g], task %d starts at %g",
+					w, prev.TaskID, prev.Start, prev.End, cur.TaskID, cur.Start)
+			}
+		}
+	}
+}
+
+// checkMakespan verifies the reported makespan is exactly the latest
+// span end.
+func (c *checker) checkMakespan() {
+	var last float64
+	for i := range c.tr.Spans {
+		if e := c.tr.Spans[i].End; e > last {
+			last = e
+		}
+	}
+	if diff(last, c.tr.Makespan) > c.opts.Eps {
+		c.failf("oracle: makespan %g does not equal latest span end %g", c.tr.Makespan, last)
+	}
+}
+
+func diff(a, b float64) float64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}

@@ -1,0 +1,193 @@
+package oracle
+
+import (
+	"sort"
+
+	"multiprio/internal/platform"
+	"multiprio/internal/runtime"
+	"multiprio/internal/trace"
+)
+
+// rkey identifies one replica: a handle on a memory node.
+type rkey struct {
+	h   int64
+	mem platform.MemID
+}
+
+// replayEvent is one entry of the merged, seq-ordered event stream:
+// a memory event, or a kernel start/end taken from a span.
+type replayEvent struct {
+	seq  int64
+	mem  *trace.MemEvent
+	span *trace.Span
+	end  bool // span completion rather than kernel start
+}
+
+// replayMemory re-executes the trace's replica state machine and checks
+// data coherence and capacity. It relies on the engine's sequence
+// numbers for an exact linearization of same-instant events.
+func (c *checker) replayMemory() {
+	events := make([]replayEvent, 0, len(c.tr.MemEvents)+2*len(c.tr.Spans))
+	for i := range c.tr.MemEvents {
+		e := &c.tr.MemEvents[i]
+		if e.Seq <= 0 {
+			c.failf("oracle: memory event without sequence number (handle %d on mem %d)", e.Handle, e.Mem)
+			return
+		}
+		events = append(events, replayEvent{seq: e.Seq, mem: e})
+	}
+	for i := range c.tr.Spans {
+		s := &c.tr.Spans[i]
+		if s.StartSeq <= 0 || s.EndSeq <= 0 {
+			c.failf("oracle: span of task %d lacks sequence numbers; cannot replay coherence", s.TaskID)
+			return
+		}
+		events = append(events,
+			replayEvent{seq: s.StartSeq, span: s},
+			replayEvent{seq: s.EndSeq, span: s, end: true})
+	}
+	sort.Slice(events, func(i, j int) bool { return events[i].seq < events[j].seq })
+	for i := 1; i < len(events); i++ {
+		if events[i].seq == events[i-1].seq {
+			c.failf("oracle: duplicate sequence number %d in event stream", events[i].seq)
+			return
+		}
+	}
+
+	taskByID := make(map[int64]*runtime.Task, len(c.g.Tasks))
+	for _, t := range c.g.Tasks {
+		taskByID[t.ID] = t
+	}
+	handleByID := make(map[int64]*runtime.DataHandle, len(c.g.Handles))
+	allocated := make(map[rkey]bool)
+	validVer := make(map[rkey]int64)
+	version := make(map[int64]int64)
+	used := make([]int64, len(c.m.Mems))
+	for _, h := range c.g.Handles {
+		handleByID[h.ID] = h
+		k := rkey{h.ID, h.Home}
+		allocated[k] = true
+		validVer[k] = 0
+		version[h.ID] = 0
+		used[h.Home] += h.Bytes
+	}
+	capReported := make([]bool, len(c.m.Mems))
+	overflowAllowed := func(mem platform.MemID) bool {
+		return c.opts.OverflowBytes != nil && int(mem) < len(c.opts.OverflowBytes) && c.opts.OverflowBytes[mem] > 0
+	}
+
+	for _, ev := range events {
+		switch {
+		case ev.mem != nil:
+			e := ev.mem
+			if _, ok := handleByID[e.Handle]; !ok {
+				c.failf("oracle: memory event for unknown handle %d", e.Handle)
+				continue
+			}
+			if e.Mem < 0 || int(e.Mem) >= len(c.m.Mems) {
+				c.failf("oracle: memory event on unknown node %d", e.Mem)
+				continue
+			}
+			k := rkey{e.Handle, e.Mem}
+			switch e.Kind {
+			case trace.MemAlloc:
+				if allocated[k] {
+					c.failf("oracle: handle %d allocated twice on mem %d at t=%g", e.Handle, e.Mem, e.At)
+					continue
+				}
+				allocated[k] = true
+				used[e.Mem] += e.Bytes
+				cap := c.m.Mems[e.Mem].CapacityBytes
+				if cap > 0 && used[e.Mem] > cap && !overflowAllowed(e.Mem) && !capReported[e.Mem] {
+					capReported[e.Mem] = true
+					c.failf("oracle: mem %d (%s) holds %d bytes over its %d capacity at t=%g with no reported overflow",
+						e.Mem, c.m.Mems[e.Mem].Name, used[e.Mem], cap, e.At)
+				}
+			case trace.MemValid:
+				if !allocated[k] {
+					c.failf("oracle: handle %d became valid on mem %d without allocation at t=%g", e.Handle, e.Mem, e.At)
+					continue
+				}
+				cur := version[e.Handle]
+				switch e.Version {
+				case cur:
+					// A copy of the current value arrived.
+				case cur + 1:
+					// A write completed here.
+					version[e.Handle] = e.Version
+				default:
+					c.failf("oracle: handle %d on mem %d validated with version %d while the handle is at version %d (t=%g)",
+						e.Handle, e.Mem, e.Version, cur, e.At)
+					continue
+				}
+				validVer[k] = e.Version
+			case trace.MemFree:
+				if !allocated[k] {
+					c.failf("oracle: handle %d freed on mem %d without allocation at t=%g", e.Handle, e.Mem, e.At)
+					continue
+				}
+				delete(allocated, k)
+				delete(validVer, k)
+				used[e.Mem] -= e.Bytes
+				if used[e.Mem] < 0 {
+					c.failf("oracle: mem %d accounting went negative at t=%g", e.Mem, e.At)
+				}
+			default:
+				c.failf("oracle: unknown memory event kind %d", e.Kind)
+			}
+
+		case !ev.end:
+			// Kernel start: every read access must observe the current
+			// version of its handle on the worker's memory node, and
+			// every written handle must have space allocated.
+			s := ev.span
+			t := taskByID[s.TaskID]
+			mem := c.m.Units[s.Worker].Mem
+			seen := make(map[int64]bool, len(t.Accesses))
+			for _, a := range t.Accesses {
+				if seen[a.Handle.ID] {
+					continue
+				}
+				seen[a.Handle.ID] = true
+				k := rkey{a.Handle.ID, mem}
+				if !allocated[k] {
+					c.failf("oracle: task %d started on mem %d without space for handle %d (t=%g)",
+						t.ID, mem, a.Handle.ID, kernelStart(s))
+					continue
+				}
+			}
+			for _, a := range t.Accesses {
+				if !a.Mode.IsRead() {
+					continue
+				}
+				k := rkey{a.Handle.ID, mem}
+				v, ok := validVer[k]
+				if !ok {
+					c.failf("oracle: task %d read handle %d on mem %d with no valid replica (t=%g)",
+						t.ID, a.Handle.ID, mem, kernelStart(s))
+					continue
+				}
+				if cur := version[a.Handle.ID]; v != cur {
+					c.failf("oracle: stale read: task %d observed version %d of handle %d on mem %d, last writer produced %d (t=%g)",
+						t.ID, v, a.Handle.ID, mem, cur, kernelStart(s))
+				}
+			}
+		}
+	}
+
+	// Every completed write must have bumped its handle's version: the
+	// final version equals the number of executed write accesses.
+	expected := make(map[int64]int64, len(c.g.Handles))
+	for _, t := range c.g.Tasks {
+		for _, a := range t.Accesses {
+			if a.Mode.IsWrite() {
+				expected[a.Handle.ID]++
+			}
+		}
+	}
+	for hid, want := range expected {
+		if got := version[hid]; got != want {
+			c.failf("oracle: handle %d ends at version %d after %d write accesses executed", hid, got, want)
+		}
+	}
+}

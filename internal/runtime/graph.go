@@ -54,10 +54,18 @@ func (g *Graph) NewDataOn(name string, bytes int64, mem platform.MemID) *DataHan
 func (g *Graph) Submit(t *Task) *Task {
 	t.ID = g.nextTask
 	g.nextTask++
-	deps := make(map[int64]*Task)
+	// deps keeps first-encounter order (a slice, deduplicated through
+	// seen): edges must be inserted in a deterministic order, because
+	// Succs/Preds order is visible to the engines (successor release
+	// order) and to schedulers (tie-breaks over equal timestamps).
+	// Iterating a map here made identically-built graphs schedule
+	// differently run to run.
+	var deps []*Task
+	seen := make(map[int64]bool)
 	dep := func(d *Task) {
-		if d != nil && d != t {
-			deps[d.ID] = d
+		if d != nil && d != t && !seen[d.ID] {
+			seen[d.ID] = true
+			deps = append(deps, d)
 		}
 	}
 	for _, a := range t.Accesses {

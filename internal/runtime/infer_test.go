@@ -1,0 +1,138 @@
+package runtime
+
+import "testing"
+
+// predIDs returns the sorted-free raw predecessor ID list of t.
+func predIDs(g *Graph, t *Task) []int64 {
+	var ids []int64
+	for _, p := range g.Preds(t) {
+		ids = append(ids, p.ID)
+	}
+	return ids
+}
+
+// TestInferenceEdgeCases table-drives the trickier STF inference
+// shapes: wide write-after-read fan-in, repeated RW chains on one
+// handle, and tasks mixing commute and plain accesses.
+func TestInferenceEdgeCases(t *testing.T) {
+	mk := func(g *Graph, acc ...Access) *Task {
+		return g.Submit(&Task{Kind: "k", Cost: []float64{1}, Accesses: acc})
+	}
+	t.Run("write-after-read fan-in", func(t *testing.T) {
+		// One writer, eight readers, then a second writer: per the STF
+		// rule the second writer depends on the last writer and every
+		// reader since (the writer edge is transitively redundant but
+		// part of the documented contract), and on nothing else.
+		g := NewGraph()
+		h := g.NewData("h", 8)
+		want := map[int64]bool{mk(g, Access{Handle: h, Mode: W}).ID: true}
+		for i := 0; i < 8; i++ {
+			want[mk(g, Access{Handle: h, Mode: R}).ID] = true
+		}
+		w2 := mk(g, Access{Handle: h, Mode: W})
+		preds := predIDs(g, w2)
+		if len(preds) != len(want) {
+			t.Fatalf("second writer has %d preds, want %d", len(preds), len(want))
+		}
+		for _, id := range preds {
+			if !want[id] {
+				t.Fatalf("unexpected predecessor %d", id)
+			}
+		}
+	})
+	t.Run("repeated RW chain", func(t *testing.T) {
+		// N successive RW tasks on one handle must form a pure chain:
+		// each task depends exactly on its immediate predecessor.
+		g := NewGraph()
+		h := g.NewData("h", 8)
+		var prev *Task
+		for i := 0; i < 6; i++ {
+			cur := mk(g, Access{Handle: h, Mode: RW})
+			preds := predIDs(g, cur)
+			if prev == nil {
+				if len(preds) != 0 {
+					t.Fatalf("first RW task has %d preds", len(preds))
+				}
+			} else if len(preds) != 1 || preds[0] != prev.ID {
+				t.Fatalf("RW task %d preds = %v, want [%d]", cur.ID, preds, prev.ID)
+			}
+			prev = cur
+		}
+	})
+	t.Run("commute mixed with plain accesses", func(t *testing.T) {
+		// Two commuting updaters of acc that also read distinct inputs:
+		// no dependency among themselves, each depends on its input's
+		// writer; a final reader of acc closes the group over both.
+		g := NewGraph()
+		acc := g.NewData("acc", 8)
+		in1, in2 := g.NewData("in1", 8), g.NewData("in2", 8)
+		p1 := mk(g, Access{Handle: in1, Mode: W})
+		p2 := mk(g, Access{Handle: in2, Mode: W})
+		c1 := mk(g, Access{Handle: in1, Mode: R}, Access{Handle: acc, Mode: Commute})
+		c2 := mk(g, Access{Handle: in2, Mode: R}, Access{Handle: acc, Mode: Commute})
+		if got := predIDs(g, c1); len(got) != 1 || got[0] != p1.ID {
+			t.Fatalf("c1 preds = %v, want [%d]", got, p1.ID)
+		}
+		if got := predIDs(g, c2); len(got) != 1 || got[0] != p2.ID {
+			t.Fatalf("c2 preds = %v, want [%d]", got, p2.ID)
+		}
+		r := mk(g, Access{Handle: acc, Mode: R})
+		got := map[int64]bool{}
+		for _, id := range predIDs(g, r) {
+			got[id] = true
+		}
+		if len(got) != 2 || !got[c1.ID] || !got[c2.ID] {
+			t.Fatalf("group-closing reader preds = %v, want {%d, %d}", got, c1.ID, c2.ID)
+		}
+	})
+}
+
+// TestSubmitEdgeOrderDeterministic is the regression test for the
+// map-iteration bug in Submit: identically-built graphs must present
+// Succs and Preds in identical order, because engines release
+// successors and schedulers break timestamp ties in that order — a
+// shuffled edge list made whole simulations diverge run to run.
+func TestSubmitEdgeOrderDeterministic(t *testing.T) {
+	build := func() *Graph {
+		g := NewGraph()
+		hs := make([]*DataHandle, 6)
+		for i := range hs {
+			hs[i] = g.NewData("h", 8)
+		}
+		// Writers over all handles, readers crossing them, then a wide
+		// writer joining everything — plenty of multi-pred tasks.
+		for i := range hs {
+			g.Submit(&Task{Kind: "w", Cost: []float64{1},
+				Accesses: []Access{{Handle: hs[i], Mode: W}}})
+		}
+		for i := range hs {
+			g.Submit(&Task{Kind: "r", Cost: []float64{1}, Accesses: []Access{
+				{Handle: hs[i], Mode: R}, {Handle: hs[(i+1)%len(hs)], Mode: R}}})
+		}
+		var all []Access
+		for _, h := range hs {
+			all = append(all, Access{Handle: h, Mode: RW})
+		}
+		g.Submit(&Task{Kind: "join", Cost: []float64{1}, Accesses: all})
+		return g
+	}
+	a, b := build(), build()
+	for i, ta := range a.Tasks {
+		tb := b.Tasks[i]
+		pa, pb := predIDs(a, ta), predIDs(b, tb)
+		if len(pa) != len(pb) {
+			t.Fatalf("task %d: %d vs %d preds", i, len(pa), len(pb))
+		}
+		for j := range pa {
+			if pa[j] != pb[j] {
+				t.Fatalf("task %d: pred order diverges at %d: %v vs %v", i, j, pa, pb)
+			}
+		}
+		sa, sb := ta.Succs(), tb.Succs()
+		for j := range sa {
+			if sa[j].ID != sb[j].ID {
+				t.Fatalf("task %d: succ order diverges at %d", i, j)
+			}
+		}
+	}
+}

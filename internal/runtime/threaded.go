@@ -135,8 +135,11 @@ func (e *ThreadedEngine) execute(t *Task, w WorkerInfo, now func() float64) {
 	if t.Run != nil {
 		t.Run(w)
 	}
-	unlock()
+	// The end-of-execution record must close before the commute locks
+	// release: the next commuting updater stamps its StartAt as soon as
+	// it acquires the lock, and exclusivity is judged on these records.
 	t.EndAt = now()
+	unlock()
 	if e.History != nil {
 		dur := t.EndAt - t.StartAt
 		sf := e.Machine.Units[w.ID].SpeedFactor

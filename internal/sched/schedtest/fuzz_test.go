@@ -1,0 +1,59 @@
+package schedtest
+
+import (
+	"testing"
+
+	"multiprio/internal/apps/randdag"
+	"multiprio/internal/oracle"
+	"multiprio/internal/platform"
+	"multiprio/internal/sim"
+)
+
+// FuzzSchedulerConformance decodes the fuzzer's bytes into a random
+// layered DAG, a platform shape, and a scheduling policy, then demands
+// that the simulated run satisfies every oracle invariant. Any valid
+// graph a policy fails to complete — or completes while violating
+// dependencies, commute exclusivity, coherence, or capacity — is a bug
+// in the policy or the engine, never acceptable fuzzer noise.
+func FuzzSchedulerConformance(f *testing.F) {
+	// Seed corpus spanning the paper's DAG families: dense-like (deep,
+	// well-connected), FMM-like (shallow, wide, commute-heavy, strongly
+	// GPU-offloaded), sparse-QR-like (deep and narrow, mixed
+	// granularity), and a CPU-only platform with a single-GPU shape's
+	// worth of tasks still carrying GPU affinities.
+	f.Add(int64(1), uint8(6), uint8(8), uint8(25), uint8(50), uint8(0), uint8(3), uint8(2), uint8(8), uint8(0))
+	f.Add(int64(2), uint8(2), uint8(12), uint8(5), uint8(80), uint8(40), uint8(4), uint8(1), uint8(2), uint8(1))
+	f.Add(int64(3), uint8(8), uint8(4), uint8(60), uint8(30), uint8(0), uint8(1), uint8(2), uint8(16), uint8(4))
+	f.Add(int64(4), uint8(5), uint8(6), uint8(25), uint8(90), uint8(20), uint8(6), uint8(0), uint8(1), uint8(7))
+	f.Fuzz(func(t *testing.T, seed int64, layers, width, edgePct, gpuPct, commutePct, nCPU, nGPU, gpuMemMiB, schedIdx uint8) {
+		gpus := int(nGPU % 3)
+		// NewHeteroNode reserves one driver core per GPU; keep at least
+		// two plain CPU workers beyond those.
+		cpus := 2 + int(nCPU%5) + gpus
+		// Tiny device memories force eviction, writeback, and overflow
+		// paths; randdag handles are up to 1 MiB each.
+		gpuMem := int64(1+gpuMemMiB%32) * platform.MiB
+		m, err := platform.NewHeteroNode("fuzz", cpus, 10, gpus, 100, gpuMem, 5e9, platform.Config{})
+		if err != nil {
+			t.Skip("unbuildable machine shape")
+		}
+		g := randdag.Build(randdag.Params{
+			Layers:       1 + int(layers%8),
+			Width:        1 + int(width%12),
+			EdgeProb:     float64(edgePct%100)/100 + 0.01,
+			GPUShare:     float64(gpuPct%101) / 100,
+			CommuteShare: float64(commutePct%101) / 100,
+			MeanCost:     1e-3,
+			Machine:      m,
+			Seed:         seed,
+		})
+		pol := policies[int(schedIdx)%len(policies)]
+		res, err := sim.Run(m, g, pol.mk(), sim.Options{Seed: seed, CollectMemEvents: true, MaxEvents: 2_000_000})
+		if err != nil {
+			t.Fatalf("%s failed to complete a valid DAG: %v", pol.name, err)
+		}
+		if err := oracle.Check(g, res.Trace, oracle.Options{OverflowBytes: res.OverflowBytes}); err != nil {
+			t.Fatalf("%s: %v", pol.name, err)
+		}
+	})
+}

@@ -29,6 +29,11 @@ type Options struct {
 	// CollectTrace enables full span/transfer recording (always on for
 	// makespan and idle accounting; this flag keeps transfer spans).
 	CollectTrace bool
+	// CollectMemEvents records every replica state change (allocation,
+	// validation, invalidation) in the trace, for the execution oracle's
+	// coherence and capacity replay. Off by default: large runs emit
+	// many events.
+	CollectMemEvents bool
 	// MaxEvents aborts runaway simulations; 0 means a generous default.
 	MaxEvents int64
 	// Pipeline is the number of tasks a worker may hold concurrently:
@@ -300,6 +305,7 @@ func (eng *Engine) maybeCompute(wk *simWorker) {
 	}
 	wait := eng.now - blockedSince
 	t.StartAt = blockedSince
+	startSeq := eng.nextSeq() // linearization point of the kernel start
 	base, ok := t.BaseCost(wk.info.Arch)
 	if !ok {
 		panic(fmt.Sprintf("sim: task %d (%s) scheduled on arch without implementation", t.ID, t.Kind))
@@ -313,7 +319,7 @@ func (eng *Engine) maybeCompute(wk *simWorker) {
 		dur *= f
 	}
 	eng.at(eng.now+dur, func() {
-		eng.finishTask(t, wk, wait, dur)
+		eng.finishTask(t, wk, wait, dur, startSeq)
 	})
 	// A kernel is now running: the lookahead slot may fill.
 	eng.wake(wk.info.ID)
@@ -354,20 +360,23 @@ func (eng *Engine) unlockCommute(t *runtime.Task) {
 	}
 }
 
-func (eng *Engine) finishTask(t *runtime.Task, wk *simWorker, wait, dur float64) {
+func (eng *Engine) finishTask(t *runtime.Task, wk *simWorker, wait, dur float64, startSeq int64) {
 	t.EndAt = eng.now
+	endSeq := eng.nextSeq() // kernel completion precedes its write effects
 	// Write effects must land before the commute locks release: a
 	// parked successor retries synchronously inside unlockCommute and
 	// must see the post-write replica state.
 	eng.mm.release(t, wk.info.Mem)
 	eng.unlockCommute(t)
 	eng.tr.AddSpan(trace.Span{
-		Worker: wk.info.ID,
-		TaskID: t.ID,
-		Kind:   t.Kind,
-		Start:  t.StartAt,
-		End:    t.EndAt,
-		Wait:   wait,
+		Worker:   wk.info.ID,
+		TaskID:   t.ID,
+		Kind:     t.Kind,
+		Start:    t.StartAt,
+		End:      t.EndAt,
+		Wait:     wait,
+		StartSeq: startSeq,
+		EndSeq:   endSeq,
 	})
 	if eng.opts.History != nil && wk.unit.SpeedFactor > 0 {
 		eng.opts.History.Record(t.Kind, wk.info.Arch, t.Footprint, dur/wk.unit.SpeedFactor)

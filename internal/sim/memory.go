@@ -84,6 +84,19 @@ func newMemoryManager(eng *Engine, g *runtime.Graph) *memoryManager {
 	return mm
 }
 
+// event records a replica state change for the execution oracle when
+// mem-event collection is on. Seq is assigned at the moment of the
+// change, so the event stream is an exact linearization.
+func (mm *memoryManager) event(kind trace.MemEventKind, h *runtime.DataHandle, mem platform.MemID, version int64) {
+	if !mm.eng.opts.CollectMemEvents {
+		return
+	}
+	mm.eng.tr.AddMemEvent(trace.MemEvent{
+		Kind: kind, Handle: h.ID, Mem: mem, Bytes: h.Bytes,
+		Version: version, At: mm.eng.now, Seq: mm.eng.nextSeq(),
+	})
+}
+
 // IsResident implements runtime.DataLocator.
 func (mm *memoryManager) IsResident(h *runtime.DataHandle, mem platform.MemID) bool {
 	return mm.states[h.ID].repl[mem].state == replValid
@@ -120,16 +133,21 @@ func (mm *memoryManager) acquire(t *runtime.Task, mem platform.MemID, done func(
 		h    *runtime.DataHandle
 		read bool
 	}
-	needs := make(map[int64]need, len(t.Accesses))
+	// Needs keep the access-list order: iterating a map here made the
+	// fetch issue order — and through link FIFO queueing, the whole
+	// simulation — nondeterministic across runs of the same seed.
+	needs := make([]need, 0, len(t.Accesses))
+	idx := make(map[int64]int, len(t.Accesses))
 	for _, a := range t.Accesses {
-		n, ok := needs[a.Handle.ID]
+		i, ok := idx[a.Handle.ID]
 		if !ok {
-			n = need{h: a.Handle}
+			i = len(needs)
+			idx[a.Handle.ID] = i
+			needs = append(needs, need{h: a.Handle})
 		}
 		if a.Mode.IsRead() {
-			n.read = true
+			needs[i].read = true
 		}
-		needs[a.Handle.ID] = n
 	}
 	pending := 1 // sentinel so done runs once even with zero needs
 	ready := func() {
@@ -153,6 +171,7 @@ func (mm *memoryManager) acquire(t *runtime.Task, mem platform.MemID, done func(
 			if r.state == replInvalid {
 				r.state = replValid
 				mm.allocate(mem, n.h)
+				mm.event(trace.MemValid, n.h, mem, st.gen)
 			} else {
 				// A fetch is in flight (e.g. prefetch): let it land,
 				// the space is already accounted.
@@ -188,6 +207,7 @@ func (mm *memoryManager) release(t *runtime.Task, mem platform.MemID) {
 			// only away from the RAM node (write-backs target RAM).
 			r.dirty = mem != platform.MemRAM
 			st.gen++ // in-flight fetches now carry stale payloads
+			mm.event(trace.MemValid, st.h, mem, st.gen)
 			for other := range st.repl {
 				if platform.MemID(other) == mem {
 					continue
@@ -197,6 +217,7 @@ func (mm *memoryManager) release(t *runtime.Task, mem platform.MemID) {
 					o.state = replInvalid
 					o.dirty = false
 					mm.used[other] -= st.h.Bytes
+					mm.event(trace.MemFree, st.h, platform.MemID(other), 0)
 				}
 			}
 		}
@@ -270,18 +291,20 @@ func (mm *memoryManager) fetch(st *handleState, dst platform.MemID, isPrefetch b
 // the node overflows (counted, reported), which keeps the simulation
 // deadlock-free while still surfacing memory pressure.
 func (mm *memoryManager) allocate(mem platform.MemID, h *runtime.DataHandle) {
-	mm.used[mem] += h.Bytes
-	mm.resident[mem] = append(mm.resident[mem], h.ID)
+	// Evict before reserving, not after: the node must never transiently
+	// exceed capacity without the overshoot being counted as overflow.
 	cap := mm.machine.Mems[mem].CapacityBytes
-	if cap <= 0 {
-		return
-	}
-	for mm.used[mem] > cap {
-		if !mm.evictOne(mem, h.ID) {
-			mm.overflow[mem] += mm.used[mem] - cap
-			return
+	if cap > 0 {
+		for mm.used[mem]+h.Bytes > cap {
+			if !mm.evictOne(mem, h.ID) {
+				mm.overflow[mem] += mm.used[mem] + h.Bytes - cap
+				break
+			}
 		}
 	}
+	mm.used[mem] += h.Bytes
+	mm.event(trace.MemAlloc, h, mem, 0)
+	mm.resident[mem] = append(mm.resident[mem], h.ID)
 }
 
 // evictOne drops the least-recently-used unpinned valid replica on mem,
@@ -299,7 +322,14 @@ func (mm *memoryManager) evictOne(mem platform.MemID, protect int64) bool {
 			continue // lazily compact entries of invalidated replicas
 		}
 		list[w] = id
-		if r.state == replValid && r.pin == 0 && id != protect && r.lastUse < bestSeq {
+		// A dirty sole copy is unevictable while RAM is replFetching: the
+		// in-flight payload may predate the latest write (it would be
+		// dropped stale on arrival), and the write-back that would save
+		// this value cannot start until that transfer lands. Evicting
+		// here would discard the only copy.
+		evictable := r.state == replValid && r.pin == 0 && id != protect &&
+			!(r.dirty && st.repl[platform.MemRAM].state == replFetching)
+		if evictable && r.lastUse < bestSeq {
 			bestSeq = r.lastUse
 			bestIdx = w
 		}
@@ -323,6 +353,7 @@ func (mm *memoryManager) evictOne(mem platform.MemID, protect int64) bool {
 		if ram.state == replInvalid {
 			ram.state = replFetching
 			mm.used[platform.MemRAM] += st.h.Bytes
+			mm.event(trace.MemAlloc, st.h, platform.MemRAM, 0)
 			mm.resident[platform.MemRAM] = append(mm.resident[platform.MemRAM], id)
 			mm.transfer(st, mem, platform.MemRAM, false, true)
 		}
@@ -330,6 +361,7 @@ func (mm *memoryManager) evictOne(mem platform.MemID, protect int64) bool {
 	r.state = replInvalid
 	r.dirty = false
 	mm.used[mem] -= st.h.Bytes
+	mm.event(trace.MemFree, st.h, mem, 0)
 	mm.resident[mem] = append(mm.resident[mem][:bestIdx], mm.resident[mem][bestIdx+1:]...)
 	return true
 }
@@ -364,6 +396,7 @@ func (mm *memoryManager) transfer(st *handleState, src, dst platform.MemID, isPr
 			// for anyone still waiting.
 			r.state = replInvalid
 			mm.used[dst] -= st.h.Bytes
+			mm.event(trace.MemFree, st.h, dst, 0)
 			ws := r.waiters
 			r.waiters = nil
 			for _, w := range ws {
@@ -373,6 +406,7 @@ func (mm *memoryManager) transfer(st *handleState, src, dst platform.MemID, isPr
 		}
 		r.state = replValid
 		r.lastUse = mm.eng.nextSeq()
+		mm.event(trace.MemValid, st.h, dst, gen)
 		if dst == platform.MemRAM {
 			// RAM now holds the current value: no replica is the sole
 			// (dirty) copy anymore.

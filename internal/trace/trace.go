@@ -23,6 +23,13 @@ type Span struct {
 	// Wait is the portion of [Start, End] spent waiting for data
 	// transfers before the kernel actually ran.
 	Wait float64
+	// StartSeq and EndSeq are the engine's linearization points of the
+	// kernel start (Start+Wait) and completion. Together with
+	// MemEvent.Seq they give the execution oracle an exact total order
+	// over same-instant events. Zero for engines without a sequencer
+	// (the threaded engine).
+	StartSeq int64
+	EndSeq   int64
 }
 
 // Transfer is one data movement between memory nodes.
@@ -37,12 +44,58 @@ type Transfer struct {
 	Writeback bool
 }
 
+// MemEventKind classifies memory-residency events.
+type MemEventKind uint8
+
+const (
+	// MemAlloc: bytes were reserved for a replica on the node (a fetch
+	// started or a write-only access allocated space).
+	MemAlloc MemEventKind = iota + 1
+	// MemValid: the replica became readable, carrying Version.
+	MemValid
+	// MemFree: the replica was dropped (eviction, write invalidation,
+	// stale in-flight payload discarded) and its bytes released.
+	MemFree
+)
+
+// String returns the short name of the kind.
+func (k MemEventKind) String() string {
+	switch k {
+	case MemAlloc:
+		return "alloc"
+	case MemValid:
+		return "valid"
+	case MemFree:
+		return "free"
+	default:
+		return fmt.Sprintf("MemEventKind(%d)", uint8(k))
+	}
+}
+
+// MemEvent is one replica state change on a memory node, recorded by the
+// simulator's memory manager when Options.CollectMemEvents is set. The
+// execution oracle replays the stream to verify data coherence (every
+// read observes the last writer's version) and capacity limits.
+type MemEvent struct {
+	Kind   MemEventKind
+	Handle int64
+	Mem    platform.MemID
+	Bytes  int64
+	// Version is the number of completed writes to the handle when this
+	// replica's payload was produced (MemValid only).
+	Version int64
+	At      float64
+	// Seq is the engine's linearization point of the state change.
+	Seq int64
+}
+
 // Trace accumulates the events of one run.
 type Trace struct {
-	Machine  *platform.Machine
-	Spans    []Span
-	Xfers    []Transfer
-	Makespan float64
+	Machine   *platform.Machine
+	Spans     []Span
+	Xfers     []Transfer
+	MemEvents []MemEvent
+	Makespan  float64
 }
 
 // New returns an empty trace for machine m.
@@ -60,6 +113,29 @@ func (tr *Trace) AddSpan(s Span) {
 
 // AddTransfer records a data transfer.
 func (tr *Trace) AddTransfer(x Transfer) { tr.Xfers = append(tr.Xfers, x) }
+
+// AddMemEvent records a replica state change.
+func (tr *Trace) AddMemEvent(e MemEvent) { tr.MemEvents = append(tr.MemEvents, e) }
+
+// FromGraph builds a trace from the execution records the engines leave
+// on the tasks themselves (StartAt/EndAt/RanOn). The threaded engine has
+// no event stream of its own; this adapter lets its runs flow through
+// the same execution oracle and reports as simulated ones. Spans are
+// emitted in task-ID order with no transfer-wait or sequencing
+// information.
+func FromGraph(m *platform.Machine, g *runtime.Graph) *Trace {
+	tr := New(m)
+	for _, t := range g.Tasks {
+		tr.AddSpan(Span{
+			Worker: t.RanOn,
+			TaskID: t.ID,
+			Kind:   t.Kind,
+			Start:  t.StartAt,
+			End:    t.EndAt,
+		})
+	}
+	return tr
+}
 
 // BusyTime returns the total busy (executing or transfer-waiting) time of
 // worker w.
