@@ -1,0 +1,209 @@
+// Package bench holds the hot-path micro-benchmark suite that seeds the
+// performance trajectory (BENCH_sweep.json). Unlike the repo-root
+// benchmarks, which regenerate whole paper artifacts, these isolate the
+// per-operation costs the optimization work targets: heap operations,
+// MultiPrio PUSH/POP, Dmdas PUSH, the simulator event loop, and STF
+// dependency inference.
+//
+// Every benchmark does a fixed batch of work per iteration (a whole
+// graph pushed, a whole heap drained), so a single iteration is already
+// a meaningful sample: CI runs the suite with `-benchtime=1x -count=3`
+// and gates on the machine-independent allocation counts via
+// cmd/benchjson (see .github/workflows/ci.yml).
+//
+// Refresh the committed baseline after intentional performance changes:
+//
+//	go test ./bench -bench . -benchmem -run '^$' -count=3 | go run ./cmd/benchjson -o bench/baseline.json
+package bench
+
+import (
+	"testing"
+
+	"multiprio/internal/apps/dense"
+	"multiprio/internal/core"
+	"multiprio/internal/heap"
+	"multiprio/internal/platform"
+	"multiprio/internal/runtime"
+	"multiprio/internal/sched/dmdas"
+	"multiprio/internal/sched/eager"
+	"multiprio/internal/sim"
+)
+
+// benchGraph builds the shared mid-size Cholesky DAG (Tiles=12 is 364
+// tasks) on the paper's Intel+V100 platform.
+func benchGraph() (*platform.Machine, *runtime.Graph) {
+	m := platform.IntelV100(platform.Config{})
+	g := dense.Cholesky(dense.Params{Tiles: 12, TileSize: 960, Machine: m, UserPriorities: true})
+	return m, g
+}
+
+// workerInfos lists every processing unit as scheduler-visible worker.
+func workerInfos(m *platform.Machine) []runtime.WorkerInfo {
+	ws := make([]runtime.WorkerInfo, len(m.Units))
+	for i, u := range m.Units {
+		ws[i] = runtime.WorkerInfo{ID: platform.UnitID(i), Arch: u.Arch, Mem: u.Mem}
+	}
+	return ws
+}
+
+// xorshift is a tiny deterministic score source (no math/rand needed).
+func xorshift(x uint64) uint64 {
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	return x
+}
+
+// BenchmarkHeapOps measures the indexed max-heap on a mixed workload:
+// 8192 pushes, score updates on half of them, removal of a quarter by
+// identity, then a full drain.
+func BenchmarkHeapOps(b *testing.B) {
+	const n = 8192
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h := heap.New(n)
+		s := uint64(i + 1)
+		for id := int64(0); id < n; id++ {
+			s = xorshift(s)
+			h.Push(id, heap.Score{Primary: float64(s % 1000), Secondary: float64(id)})
+		}
+		for id := int64(0); id < n; id += 2 {
+			s = xorshift(s)
+			h.Update(id, heap.Score{Primary: float64(s % 1000), Secondary: float64(id)})
+		}
+		for id := int64(0); id < n; id += 4 {
+			h.Remove(id)
+		}
+		for h.Len() > 0 {
+			h.Pop()
+		}
+	}
+}
+
+// BenchmarkHeapTopN measures the bounded non-mutating top-n scan POP
+// runs on every idle worker wake-up (n=10, the paper's setting).
+func BenchmarkHeapTopN(b *testing.B) {
+	const n = 2048
+	h := heap.New(n)
+	s := uint64(7)
+	for id := int64(0); id < n; id++ {
+		s = xorshift(s)
+		h.Push(id, heap.Score{Primary: float64(s % 1000), Secondary: float64(id)})
+	}
+	var buf []heap.ScoredID
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for k := 0; k < 512; k++ {
+			buf = h.TopNScored(buf[:0], 10)
+		}
+	}
+	if len(buf) != 10 {
+		b.Fatalf("TopNScored returned %d candidates", len(buf))
+	}
+}
+
+// BenchmarkMultiPrioPush measures Algorithm 1 alone: scoring and
+// inserting every task of the Cholesky DAG into the per-node heaps.
+func BenchmarkMultiPrioPush(b *testing.B) {
+	m, g := benchGraph()
+	env := runtime.NewEnv(m, g)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		g.ResetRun()
+		b.StartTimer()
+		s := core.New(core.Defaults())
+		s.Init(env)
+		for _, t := range g.Tasks {
+			s.Push(t)
+		}
+	}
+}
+
+// BenchmarkMultiPrioPushPop measures the full PUSH + locality-aware POP
+// cycle: the whole DAG is pushed, then drained by round-robin worker
+// pops (exercising LS_SDH², the pop condition and eviction).
+func BenchmarkMultiPrioPushPop(b *testing.B) {
+	m, g := benchGraph()
+	env := runtime.NewEnv(m, g)
+	workers := workerInfos(m)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		g.ResetRun()
+		b.StartTimer()
+		s := core.New(core.Defaults())
+		s.Init(env)
+		for _, t := range g.Tasks {
+			s.Push(t)
+		}
+		popped := 0
+		for progress := true; progress; {
+			progress = false
+			for _, w := range workers {
+				if t := s.Pop(w); t != nil {
+					s.TaskDone(t, w)
+					popped++
+					progress = true
+				}
+			}
+		}
+		if popped != len(g.Tasks) {
+			b.Fatalf("drained %d of %d tasks", popped, len(g.Tasks))
+		}
+	}
+}
+
+// BenchmarkDmdasPush measures the HEFT mapping step: minimum expected
+// completion time over every worker, including transfer estimates.
+func BenchmarkDmdasPush(b *testing.B) {
+	m, g := benchGraph()
+	env := runtime.NewEnv(m, g)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		g.ResetRun()
+		b.StartTimer()
+		s := dmdas.New(dmdas.DMDAS)
+		s.Init(env)
+		for _, t := range g.Tasks {
+			s.Push(t)
+		}
+	}
+}
+
+// BenchmarkSimEventLoop measures the discrete-event simulator end to
+// end on the shared DAG with the trivial eager policy, so the event
+// queue and the memory manager dominate over scheduling heuristics.
+func BenchmarkSimEventLoop(b *testing.B) {
+	m, g := benchGraph()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		g.ResetRun()
+		b.StartTimer()
+		if _, err := sim.Run(m, g, eager.New(), sim.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSTFSubmit measures sequential-task-flow dependency
+// inference: building the Cholesky DAG from scratch, dominated by
+// Graph.Submit's read/write dependency resolution.
+func BenchmarkSTFSubmit(b *testing.B) {
+	m := platform.IntelV100(platform.Config{})
+	p := dense.Params{Tiles: 12, TileSize: 960, Machine: m}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g := dense.Cholesky(p)
+		if len(g.Tasks) == 0 {
+			b.Fatal("empty graph")
+		}
+	}
+}

@@ -3,13 +3,20 @@
 //
 // Usage:
 //
-//	multiprio-bench -exp table2|fig3|fig4|fig5|fig6|fig7|fig8|ablation|all [-scale quick|full] [-gantt]
+//	multiprio-bench -exp table2|fig3|fig4|fig5|fig6|fig8|ablation|all [-scale quick|full] [-gantt]
+//	                [-j N] [-cpuprofile f.pprof] [-memprofile f.pprof]
+//
+// The sweep experiments (fig5, fig6, fig8, ablation, stress) run their
+// configuration grids on a pool of -j workers; tables are byte-identical
+// for every -j value (results are reduced in configuration order).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"multiprio/internal/experiments"
 )
@@ -18,6 +25,9 @@ func main() {
 	exp := flag.String("exp", "all", "experiment to run: table2, fig3, fig4, fig5, fig6, fig7, fig8, ablation, hier, energy, stress, overhead, all")
 	scaleFlag := flag.String("scale", "quick", "problem sizing: quick (seconds) or full (paper-scale, minutes)")
 	gantt := flag.Bool("gantt", false, "include ASCII Gantt traces where applicable (fig4)")
+	jobs := flag.Int("j", runtime.NumCPU(), "sweep worker-pool size (1 = serial; output is identical either way)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
 
 	var scale experiments.Scale
@@ -30,8 +40,40 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleFlag)
 		os.Exit(2)
 	}
+	experiments.SetWorkers(*jobs)
 
-	if err := run(*exp, scale, *gantt); err != nil {
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "multiprio-bench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "multiprio-bench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	err := run(*exp, scale, *gantt)
+
+	if *cpuProfile != "" {
+		pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		f, merr := os.Create(*memProfile)
+		if merr != nil {
+			fmt.Fprintf(os.Stderr, "multiprio-bench: %v\n", merr)
+			os.Exit(1)
+		}
+		runtime.GC() // materialize the final live set
+		if merr := pprof.WriteHeapProfile(f); merr != nil {
+			fmt.Fprintf(os.Stderr, "multiprio-bench: %v\n", merr)
+			os.Exit(1)
+		}
+		f.Close()
+	}
+
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "multiprio-bench: %v\n", err)
 		os.Exit(1)
 	}

@@ -111,7 +111,12 @@ type Sched struct {
 	// Evictions counts pop-condition failures (observability).
 	Evictions int64
 
-	topBuf []int64
+	// topBuf is the reused top-n candidate scratch of POP; archBuf the
+	// reused eligible-architecture scratch of PUSH; states a slab so
+	// per-task scheduler state does not cost one allocation per task.
+	topBuf  []heap.ScoredID
+	archBuf []platform.ArchID
+	states  []taskState
 }
 
 // New returns a MultiPrio scheduler with the given configuration.
@@ -140,6 +145,18 @@ func (s *Sched) Init(env *runtime.Env) {
 	s.hd = make([]float64, len(env.Machine.Archs))
 	s.maxNOD = 0
 	s.Evictions = 0
+	s.states = nil
+}
+
+// allocState hands out per-task scratch from a slab (blocks of 256) so
+// pushing a task does not allocate.
+func (s *Sched) allocState() *taskState {
+	if len(s.states) == 0 {
+		s.states = make([]taskState, 256)
+	}
+	st := &s.states[0]
+	s.states = s.states[1:]
+	return st
 }
 
 // Push implements runtime.Scheduler (Algorithm 1). The task is scored
@@ -154,10 +171,16 @@ func (s *Sched) Push(t *runtime.Task) {
 	if !ok {
 		panic(fmt.Sprintf("multiprio: task %d (%s) runs on no available architecture", t.ID, t.Kind))
 	}
-	st := &taskState{bestArch: bestArch, bestDelta: bestDelta}
+	st := s.allocState()
+	st.bestArch, st.bestDelta = bestArch, bestDelta
 	t.SchedData = st
 
-	s.updateHD(t)
+	// The per-architecture quantities behind Eq. 1 (best/second-best
+	// deltas, eligible-architecture count) depend only on the task, not
+	// on the memory node: compute them once, not once per heap.
+	archs := s.eligibleArchs(t)
+	_, secondDelta, _ := s.env.SecondBestArch(t)
+	s.updateHD(t, archs, bestArch, bestDelta, secondDelta)
 
 	inserted := false
 	for mem := range m.Mems {
@@ -166,7 +189,7 @@ func (s *Sched) Push(t *runtime.Task) {
 		if !t.CanRun(a) || m.NumWorkersOf(a) == 0 {
 			continue
 		}
-		gain := s.gain(t, a)
+		gain := s.gainWith(t, a, len(archs), bestArch, bestDelta, secondDelta)
 		prio := 0.0
 		if !s.cfg.DisableCriticality {
 			prio = s.criticality(t, a)
@@ -257,26 +280,25 @@ func (s *Sched) mostLocalPrioTask(mem platform.MemID) *runtime.Task {
 		id, _, _ := h.Peek()
 		return s.byID[id]
 	}
-	s.topBuf = h.TopN(s.topBuf[:0], s.cfg.LocalityWindow)
+	s.topBuf = h.TopNScored(s.topBuf[:0], s.cfg.LocalityWindow)
 	if len(s.topBuf) == 0 {
 		return nil
 	}
-	head := s.byID[s.topBuf[0]]
+	head := s.byID[s.topBuf[0].ID]
 	if s.missingBytes(head, mem) == 0 {
 		// The head is already fully local: reordering can only hurt
 		// (on the RAM node, where every handle is resident, LS_SDH²
 		// would otherwise degenerate into sorting by data size).
 		return head
 	}
-	headScore, _ := h.Score(s.topBuf[0])
+	headScore := s.topBuf[0].Score
 	best := head
 	bestLoc := s.env.LSSDH2(best, mem)
-	for _, id := range s.topBuf[1:] {
-		sc, ok := h.Score(id)
-		if !ok || headScore.Primary-sc.Primary > s.cfg.Epsilon {
+	for _, c := range s.topBuf[1:] {
+		if headScore.Primary-c.Score.Primary > s.cfg.Epsilon {
 			continue
 		}
-		t := s.byID[id]
+		t := s.byID[c.ID]
 		if t == nil {
 			continue
 		}
@@ -339,21 +361,28 @@ func (s *Sched) popCondition(t *runtime.Task, w runtime.WorkerInfo) bool {
 // gain computes the gain heuristic of Eq. 1 for task t on architecture
 // a, normalized to [0, 1].
 func (s *Sched) gain(t *runtime.Task, a platform.ArchID) float64 {
+	archs := s.eligibleArchs(t)
+	bestArch, bestDelta, _ := s.env.BestArch(t)
+	_, secondDelta, _ := s.env.SecondBestArch(t)
+	return s.gainWith(t, a, len(archs), bestArch, bestDelta, secondDelta)
+}
+
+// gainWith is gain with the task-level inputs (eligible-architecture
+// count, best/second-best deltas) precomputed by the caller: Push scores
+// a task once per memory node and those inputs do not change across
+// nodes.
+func (s *Sched) gainWith(t *runtime.Task, a platform.ArchID, nArchs int, bestArch platform.ArchID, bestDelta, secondDelta float64) float64 {
 	if s.cfg.FlatGain {
 		// Ablation: plain affinity ratio, 1 on the fastest arch.
-		_, bestDelta, _ := s.env.BestArch(t)
 		d := s.env.Delta(t, a)
 		if d <= 0 || math.IsInf(d, 1) {
 			return 0
 		}
 		return bestDelta / d
 	}
-	archs := s.eligibleArchs(t)
-	if len(archs) <= 1 {
+	if nArchs <= 1 {
 		return 1
 	}
-	bestArch, _, _ := s.env.BestArch(t)
-	_, secondDelta, _ := s.env.SecondBestArch(t)
 	da := s.env.Delta(t, a)
 	hd := s.hd[a]
 	if hd <= 0 {
@@ -363,7 +392,6 @@ func (s *Sched) gain(t *runtime.Task, a platform.ArchID) float64 {
 	if a == bestArch {
 		diff = secondDelta - da
 	} else {
-		_, bestDelta, _ := s.env.BestArch(t)
 		diff = bestDelta - da
 	}
 	g := (diff + hd) / (2 * hd)
@@ -379,13 +407,10 @@ func (s *Sched) gain(t *runtime.Task, a platform.ArchID) float64 {
 // updateHD refreshes the per-architecture highest execution-time
 // difference with task t, before its gain is computed (the worked
 // example of Table II includes the current task in hd).
-func (s *Sched) updateHD(t *runtime.Task) {
-	archs := s.eligibleArchs(t)
+func (s *Sched) updateHD(t *runtime.Task, archs []platform.ArchID, bestArch platform.ArchID, bestDelta, secondDelta float64) {
 	if len(archs) <= 1 {
 		return
 	}
-	bestArch, bestDelta, _ := s.env.BestArch(t)
-	_, secondDelta, _ := s.env.SecondBestArch(t)
 	for _, a := range archs {
 		da := s.env.Delta(t, a)
 		var diff float64
@@ -400,15 +425,18 @@ func (s *Sched) updateHD(t *runtime.Task) {
 	}
 }
 
-// eligibleArchs lists architectures that can run t and have workers.
+// eligibleArchs lists architectures that can run t and have workers,
+// into a scratch slice owned by the scheduler (valid until the next
+// call, which is safe under the global lock).
 func (s *Sched) eligibleArchs(t *runtime.Task) []platform.ArchID {
-	var out []platform.ArchID
+	out := s.archBuf[:0]
 	for a := range s.env.Machine.Archs {
 		arch := platform.ArchID(a)
 		if t.CanRun(arch) && s.env.Machine.NumWorkersOf(arch) > 0 {
 			out = append(out, arch)
 		}
 	}
+	s.archBuf = out
 	return out
 }
 

@@ -58,8 +58,13 @@ func ablationConfigs() []struct {
 	}
 }
 
+// ablationBaseSeed is the base of the per-configuration seed derivation.
+const ablationBaseSeed = 1
+
 // RunAblation executes every configuration on a dense, an FMM, and a
-// sparse workload on the Intel-V100 model.
+// sparse workload on the Intel-V100 model. Configurations run on the
+// sweep worker pool; the slowdown column is derived serially from the
+// collected makespans (cfgs[0] is the default configuration).
 func RunAblation(scale Scale, progress io.Writer) (*AblationResult, error) {
 	m := platform.IntelV100(platform.Config{})
 	tiles := 24
@@ -86,27 +91,37 @@ func RunAblation(scale Scale, progress io.Writer) (*AblationResult, error) {
 		}},
 	}
 
-	res := &AblationResult{}
-	for _, wl := range workloads {
-		var base float64
-		for _, c := range ablationConfigs() {
-			g := wl.build()
-			r, err := sim.Run(m, g, core.New(c.cfg), sim.Options{})
-			if err != nil {
-				return nil, fmt.Errorf("ablation %s %s: %w", wl.name, c.name, err)
-			}
-			row := AblationRow{Workload: wl.name, Config: c.name, Makespan: r.Makespan}
-			if c.name == "default" {
-				base = r.Makespan
-			}
-			if base > 0 {
-				row.DeltaPct = pct(r.Makespan, base)
-			}
-			res.Rows = append(res.Rows, row)
-			if progress != nil {
-				fmt.Fprintf(progress, ".")
-			}
+	type job struct {
+		wl  int
+		cfg int
+	}
+	cfgs := ablationConfigs()
+	var jobs []job
+	for wi := range workloads {
+		for ci := range cfgs {
+			jobs = append(jobs, job{wl: wi, cfg: ci})
 		}
+	}
+	makespans, err := sweep(len(jobs), progress, func(i int) (float64, error) {
+		j := jobs[i]
+		g := workloads[j.wl].build()
+		r, err := sim.Run(m, g, core.New(cfgs[j.cfg].cfg), sim.Options{Seed: SweepSeed(ablationBaseSeed, i)})
+		if err != nil {
+			return 0, fmt.Errorf("ablation %s %s: %w", workloads[j.wl].name, cfgs[j.cfg].name, err)
+		}
+		return r.Makespan, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &AblationResult{}
+	for i, j := range jobs {
+		wl, c := workloads[j.wl], cfgs[j.cfg]
+		row := AblationRow{Workload: wl.name, Config: c.name, Makespan: makespans[i]}
+		if base := makespans[i-j.cfg]; c.name != "default" && base > 0 {
+			row.DeltaPct = pct(makespans[i], base)
+		}
+		res.Rows = append(res.Rows, row)
 	}
 	if progress != nil {
 		fmt.Fprintln(progress)

@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"multiprio/internal/apps/dense"
+	"multiprio/internal/platform"
 	"multiprio/internal/runtime"
 )
 
@@ -54,7 +55,14 @@ func fig5Config(scale Scale) []fig5Platform {
 	}
 }
 
-// RunFig5 sweeps kernels × platforms × sizes × tiles × schedulers.
+// fig5BaseSeed is the base of the per-configuration seed derivation.
+const fig5BaseSeed = 1
+
+// RunFig5 sweeps kernels × platforms × sizes × tiles × schedulers. The
+// grid is enumerated up front and executed on the sweep worker pool
+// (SetWorkers); the reduction to best-tile points runs serially in
+// configuration order, so the rendered table does not depend on the
+// pool size.
 func RunFig5(scale Scale, progress io.Writer) (*Fig5Result, error) {
 	maxTiles := 40
 	if scale == Full {
@@ -69,6 +77,17 @@ func RunFig5(scale Scale, progress io.Writer) (*Fig5Result, error) {
 		{"getrf", dense.LU},
 		{"geqrf", dense.QR},
 	}
+	type job struct {
+		point       int // index into res.Points
+		platform    string
+		m           *platform.Machine
+		kernel      string
+		build       func(dense.Params) *runtime.Graph
+		n           int
+		tile, tiles int
+		sched       string
+	}
+	var jobs []job
 	for _, pf := range fig5Config(scale) {
 		m, err := PlatformByName(pf.name, 1)
 		if err != nil {
@@ -76,45 +95,58 @@ func RunFig5(scale Scale, progress io.Writer) (*Fig5Result, error) {
 		}
 		for _, b := range builders {
 			for _, n := range pf.sizes {
-				pt := Fig5Point{
+				res.Points = append(res.Points, Fig5Point{
 					Kernel: b.kernel, Platform: pf.name, N: n,
 					GFlops:   make(map[string]float64),
 					BestTile: make(map[string]int),
-				}
+				})
 				for _, tile := range pf.tiles {
 					tiles := n / tile
 					if tiles < 4 || tiles > maxTiles {
 						continue
 					}
 					for _, schedName := range SchedulerNames() {
-						p := dense.Params{
-							Tiles: tiles, TileSize: tile, Machine: m,
-							// Expert priorities are what dmdas consumes;
-							// providing them to all schedulers is harmless
-							// (only dmdas reads Task.Priority).
-							UserPriorities: true,
-						}
-						g := b.build(p)
-						r, err := runOne(m, g, schedName, 1)
-						if err != nil {
-							return nil, fmt.Errorf("fig5 %s %s n=%d tile=%d %s: %w",
-								pf.name, b.kernel, n, tile, schedName, err)
-						}
-						gf := gflops(g.TotalFlops(), r.Makespan)
-						if gf > pt.GFlops[schedName] {
-							pt.GFlops[schedName] = gf
-							pt.BestTile[schedName] = tile
-						}
-					}
-					if progress != nil {
-						fmt.Fprintf(progress, ".")
+						jobs = append(jobs, job{
+							point: len(res.Points) - 1, platform: pf.name, m: m,
+							kernel: b.kernel, build: b.build, n: n,
+							tile: tile, tiles: tiles, sched: schedName,
+						})
 					}
 				}
-				if pt.GFlops["dmdas"] > 0 {
-					pt.GainPct = pct(pt.GFlops["multiprio"], pt.GFlops["dmdas"])
-				}
-				res.Points = append(res.Points, pt)
 			}
+		}
+	}
+	gfs, err := sweep(len(jobs), progress, func(i int) (float64, error) {
+		j := jobs[i]
+		p := dense.Params{
+			Tiles: j.tiles, TileSize: j.tile, Machine: j.m,
+			// Expert priorities are what dmdas consumes; providing them
+			// to all schedulers is harmless (only dmdas reads
+			// Task.Priority).
+			UserPriorities: true,
+		}
+		g := j.build(p)
+		r, err := runOne(j.m, g, j.sched, SweepSeed(fig5BaseSeed, i))
+		if err != nil {
+			return 0, fmt.Errorf("fig5 %s %s n=%d tile=%d %s: %w",
+				j.platform, j.kernel, j.n, j.tile, j.sched, err)
+		}
+		return gflops(g.TotalFlops(), r.Makespan), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, j := range jobs {
+		pt := &res.Points[j.point]
+		if gfs[i] > pt.GFlops[j.sched] {
+			pt.GFlops[j.sched] = gfs[i]
+			pt.BestTile[j.sched] = j.tile
+		}
+	}
+	for i := range res.Points {
+		pt := &res.Points[i]
+		if pt.GFlops["dmdas"] > 0 {
+			pt.GainPct = pct(pt.GFlops["multiprio"], pt.GFlops["dmdas"])
 		}
 	}
 	if progress != nil {

@@ -24,39 +24,64 @@ type Fig6Result struct {
 	Points    []Fig6Point
 }
 
-// RunFig6 executes the sweep.
+// fig6BaseSeed is the base of the per-configuration seed derivation.
+const fig6BaseSeed = 1
+
+// RunFig6 executes the sweep on the worker pool. The octree depends only
+// on the particle distribution (not on the platform or stream count), so
+// it is built once and shared read-only across the configurations.
 func RunFig6(scale Scale, progress io.Writer) (*Fig6Result, error) {
 	particles, height := 1_000_000, 6
 	if scale == Quick {
 		particles, height = 150_000, 5
 	}
 	res := &Fig6Result{Particles: particles, Height: height}
+	type job struct {
+		point    int
+		platform string
+		streams  int
+		sched    string
+	}
+	var jobs []job
 	for _, pf := range []string{"intel-v100", "amd-a100"} {
 		for _, streams := range []int{1, 2, 4} {
-			m, err := PlatformByName(pf, streams)
-			if err != nil {
-				return nil, err
-			}
-			pt := Fig6Point{Platform: pf, Streams: streams, Times: make(map[string]float64)}
-			// The clustered ensemble: TBFMM's target workloads are
-			// non-uniform particle distributions, and per-task affinity
-			// scores only differentiate from per-type ones when task
-			// costs vary within a type.
-			p := fmm.Params{Particles: particles, Height: height, Clustered: true, Machine: m, Seed: 12}
-			tree := fmm.BuildTree(p)
+			res.Points = append(res.Points, Fig6Point{
+				Platform: pf, Streams: streams, Times: make(map[string]float64),
+			})
 			for _, schedName := range SchedulerNames() {
-				g := fmm.BuildFromTree(p, tree)
-				r, err := runOne(m, g, schedName, 1)
-				if err != nil {
-					return nil, fmt.Errorf("fig6 %s streams=%d %s: %w", pf, streams, schedName, err)
-				}
-				pt.Times[schedName] = r.Makespan
-				if progress != nil {
-					fmt.Fprintf(progress, ".")
-				}
+				jobs = append(jobs, job{
+					point: len(res.Points) - 1, platform: pf,
+					streams: streams, sched: schedName,
+				})
 			}
-			res.Points = append(res.Points, pt)
 		}
+	}
+	// The clustered ensemble: TBFMM's target workloads are non-uniform
+	// particle distributions, and per-task affinity scores only
+	// differentiate from per-type ones when task costs vary within a
+	// type.
+	baseParams := fmm.Params{Particles: particles, Height: height, Clustered: true, Seed: 12}
+	tree := fmm.BuildTree(baseParams)
+	times, err := sweep(len(jobs), progress, func(i int) (float64, error) {
+		j := jobs[i]
+		m, err := PlatformByName(j.platform, j.streams)
+		if err != nil {
+			return 0, err
+		}
+		p := baseParams
+		p.Machine = m
+		g := fmm.BuildFromTree(p, tree)
+		r, err := runOne(m, g, j.sched, SweepSeed(fig6BaseSeed, i))
+		if err != nil {
+			return 0, fmt.Errorf("fig6 %s streams=%d %s: %w", j.platform, j.streams, j.sched, err)
+		}
+		return r.Makespan, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, j := range jobs {
+		res.Points[j.point].Times[j.sched] = times[i]
 	}
 	if progress != nil {
 		fmt.Fprintln(progress)

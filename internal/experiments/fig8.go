@@ -26,44 +26,59 @@ type Fig8Result struct {
 	Points []Fig8Point
 }
 
-// RunFig8 runs the full matrix sweep on both platforms.
+// fig8BaseSeed is the base of the per-configuration seed derivation.
+const fig8BaseSeed = 1
+
+// RunFig8 runs the full matrix sweep on both platforms. One sweep
+// configuration covers one (platform, matrix) pair: the assembly tree is
+// synthesized inside the job and the three schedulers run against it.
 func RunFig8(scale Scale, progress io.Writer) (*Fig8Result, error) {
 	matrices := sparseqr.Matrices
 	if scale == Quick {
 		matrices = matrices[:6] // the smaller op counts
 	}
 	res := &Fig8Result{}
+	type job struct {
+		platform string
+		stats    sparseqr.MatrixStats
+	}
+	var jobs []job
 	for _, pf := range []string{"intel-v100", "amd-a100"} {
-		m, err := PlatformByName(pf, 4) // "we use four streams on each GPU"
-		if err != nil {
-			return nil, err
-		}
 		for _, stats := range matrices {
-			tr := sparseqr.BuildTree(stats)
-			pt := Fig8Point{
-				Platform: pf, Matrix: stats.Name,
-				Times: make(map[string]float64),
-				Ratio: make(map[string]float64),
-			}
-			for _, schedName := range SchedulerNames() {
-				g := sparseqr.BuildFromTree(tr, sparseqr.Params{Machine: m})
-				r, err := runOne(m, g, schedName, 1)
-				if err != nil {
-					return nil, fmt.Errorf("fig8 %s %s %s: %w", pf, stats.Name, schedName, err)
-				}
-				pt.Times[schedName] = r.Makespan
-				if progress != nil {
-					fmt.Fprintf(progress, ".")
-				}
-			}
-			for s, t := range pt.Times {
-				if t > 0 {
-					pt.Ratio[s] = pt.Times["dmdas"] / t
-				}
-			}
-			res.Points = append(res.Points, pt)
+			jobs = append(jobs, job{platform: pf, stats: stats})
 		}
 	}
+	points, err := sweep(len(jobs), progress, func(i int) (Fig8Point, error) {
+		j := jobs[i]
+		m, err := PlatformByName(j.platform, 4) // "we use four streams on each GPU"
+		if err != nil {
+			return Fig8Point{}, err
+		}
+		tr := sparseqr.BuildTree(j.stats)
+		pt := Fig8Point{
+			Platform: j.platform, Matrix: j.stats.Name,
+			Times: make(map[string]float64),
+			Ratio: make(map[string]float64),
+		}
+		for si, schedName := range SchedulerNames() {
+			g := sparseqr.BuildFromTree(tr, sparseqr.Params{Machine: m})
+			r, err := runOne(m, g, schedName, SweepSeed(fig8BaseSeed, i*len(SchedulerNames())+si))
+			if err != nil {
+				return Fig8Point{}, fmt.Errorf("fig8 %s %s %s: %w", j.platform, j.stats.Name, schedName, err)
+			}
+			pt.Times[schedName] = r.Makespan
+		}
+		for s, t := range pt.Times {
+			if t > 0 {
+				pt.Ratio[s] = pt.Times["dmdas"] / t
+			}
+		}
+		return pt, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Points = points
 	if progress != nil {
 		fmt.Fprintln(progress)
 	}

@@ -29,7 +29,15 @@ func stressSchedulers() []string {
 	return []string{"multiprio", "dmdas", "heteroprio", "lws", "prio", "eager"}
 }
 
-// RunStress executes the ensemble.
+// stressBaseSeed is the base of the per-configuration sim-seed
+// derivation. The *graph* seed stays the instance number — it defines
+// the instance — while the simulator RNG seed is derived from (base,
+// configuration index) so it is independent of execution order.
+const stressBaseSeed = 7
+
+// RunStress executes the ensemble on the sweep worker pool: one
+// configuration per (instance, scheduler) pair, reduced serially in
+// instance order.
 func RunStress(scale Scale, progress io.Writer) (*StressResult, error) {
 	m, err := PlatformByName("intel-v100", 1)
 	if err != nil {
@@ -45,25 +53,40 @@ func RunStress(scale Scale, progress io.Writer) (*StressResult, error) {
 	logSum := make(map[string]float64, len(scheds))
 	wins := make(map[string]int, len(scheds))
 
+	type job struct {
+		seed  int64
+		sched string
+	}
+	var jobs []job
 	for seed := int64(1); seed <= int64(instances); seed++ {
+		for _, name := range scheds {
+			jobs = append(jobs, job{seed: seed, sched: name})
+		}
+	}
+	makespans, err := sweep(len(jobs), progress, func(i int) (float64, error) {
+		j := jobs[i]
+		g := randdag.Build(randdag.Params{
+			Layers: layers, Width: width,
+			GranularitySpread: 50,
+			Machine:           m, Seed: j.seed,
+		})
+		r, err := runOne(m, g, j.sched, SweepSeed(stressBaseSeed, i))
+		if err != nil {
+			return 0, fmt.Errorf("stress seed %d %s: %w", j.seed, j.sched, err)
+		}
+		return r.Makespan, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for inst := 0; inst < instances; inst++ {
 		times := make(map[string]float64, len(scheds))
 		best := math.Inf(1)
-		for _, name := range scheds {
-			g := randdag.Build(randdag.Params{
-				Layers: layers, Width: width,
-				GranularitySpread: 50,
-				Machine:           m, Seed: seed,
-			})
-			r, err := runOne(m, g, name, seed)
-			if err != nil {
-				return nil, fmt.Errorf("stress seed %d %s: %w", seed, name, err)
-			}
-			times[name] = r.Makespan
-			if r.Makespan < best {
-				best = r.Makespan
-			}
-			if progress != nil {
-				fmt.Fprintf(progress, ".")
+		for si, name := range scheds {
+			t := makespans[inst*len(scheds)+si]
+			times[name] = t
+			if t < best {
+				best = t
 			}
 		}
 		var winner string

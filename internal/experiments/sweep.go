@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// sweepWorkers is the worker-pool size used by the experiment sweeps
+// (fig5, fig6, fig8, ablation, stress). The default of 1 preserves the
+// historical serial execution; cmd/multiprio-bench raises it through the
+// -j flag. Sweep results are collected in configuration order regardless
+// of the pool size, so rendered tables are byte-identical for every
+// worker count.
+var sweepWorkers atomic.Int32
+
+// SetWorkers sets the sweep worker-pool size. Values below 1 are
+// clamped to 1 (serial execution).
+func SetWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	sweepWorkers.Store(int32(n))
+}
+
+// Workers returns the current sweep worker-pool size.
+func Workers() int {
+	if n := sweepWorkers.Load(); n > 1 {
+		return int(n)
+	}
+	return 1
+}
+
+// SweepSeed derives the RNG seed of sweep configuration idx from a base
+// seed with a splitmix64 mix. Every configuration owns an independent
+// seed derived only from (base, idx) — never from a shared RNG stream —
+// so results do not depend on the order in which configurations execute
+// (the property the parallel runner relies on, and a reproducibility
+// guarantee if sweeps are ever reordered).
+func SweepSeed(base int64, idx int) int64 {
+	z := uint64(base)*0x9e3779b97f4a7c15 + (uint64(idx)+1)*0xbf58476d1ce4e5b9
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
+}
+
+// sweep runs jobs independent configurations on a pool of Workers()
+// goroutines and returns their results indexed by configuration. Jobs
+// must not share mutable state (each builds its own graph and scheduler;
+// platform machines are immutable after construction and may be shared).
+// The result slice is always in configuration order, so reductions over
+// it are deterministic no matter how the pool interleaved execution.
+// One progress dot is written per completed configuration. On error the
+// pool stops picking up new configurations and the error of the
+// lowest-indexed failed configuration is returned.
+func sweep[T any](jobs int, progress io.Writer, run func(idx int) (T, error)) ([]T, error) {
+	out := make([]T, jobs)
+	workers := Workers()
+	if workers > jobs {
+		workers = jobs
+	}
+	if workers <= 1 {
+		for i := 0; i < jobs; i++ {
+			var err error
+			if out[i], err = run(i); err != nil {
+				return nil, err
+			}
+			if progress != nil {
+				fmt.Fprint(progress, ".")
+			}
+		}
+		return out, nil
+	}
+
+	errs := make([]error, jobs)
+	var next atomic.Int64
+	var failed atomic.Bool
+	var progMu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= jobs || failed.Load() {
+					return
+				}
+				out[i], errs[i] = run(i)
+				if errs[i] != nil {
+					failed.Store(true)
+					return
+				}
+				if progress != nil {
+					progMu.Lock()
+					fmt.Fprint(progress, ".")
+					progMu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

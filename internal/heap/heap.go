@@ -43,6 +43,19 @@ type entry struct {
 	score Score
 }
 
+// ScoredID is a TopNScored result element: an item identity with the
+// score it held at scan time.
+type ScoredID struct {
+	ID    int64
+	Score Score
+}
+
+// cand is a frontier element of the partial TopN traversal.
+type cand struct {
+	idx   int
+	score Score
+}
+
 // Heap is an indexed binary max-heap keyed by (Primary, Secondary)
 // descending. The zero value is not usable; call New.
 //
@@ -51,6 +64,11 @@ type entry struct {
 type Heap struct {
 	items []entry
 	pos   map[int64]int // item id -> index in items
+
+	// frontier is the reused scratch of the partial TopN traversal
+	// (POP runs a top-n scan on every idle worker wake-up; allocating
+	// the frontier there dominated the scheduler's allocation profile).
+	frontier []cand
 }
 
 // New returns an empty heap with capacity hint cap.
@@ -148,19 +166,33 @@ func (h *Heap) Update(id int64, score Score) bool {
 // extended slice. It is used by the locality-aware POP which examines the
 // first n candidates (n=10 in the paper's evaluation).
 func (h *Heap) TopN(dst []int64, n int) []int64 {
+	h.topN(n, func(id int64, _ Score) {
+		dst = append(dst, id)
+	})
+	return dst
+}
+
+// TopNScored is TopN returning each element with its score, so callers
+// that compare scores against the head (the ε-window of the
+// locality-aware POP) avoid a position-map lookup per candidate.
+func (h *Heap) TopNScored(dst []ScoredID, n int) []ScoredID {
+	h.topN(n, func(id int64, sc Score) {
+		dst = append(dst, ScoredID{ID: id, Score: sc})
+	})
+	return dst
+}
+
+// topN runs the partial best-first traversal, calling emit for up to n
+// elements in descending score order without mutating the heap. The
+// frontier scratch lives on the Heap and is reused across calls.
+func (h *Heap) topN(n int, emit func(id int64, sc Score)) {
 	if n <= 0 || len(h.items) == 0 {
-		return dst
+		return
 	}
 	if n > len(h.items) {
 		n = len(h.items)
 	}
-	// Partial traversal: expand the best frontier using a small scratch
-	// heap of candidate indices ordered by score.
-	type cand struct {
-		idx   int
-		score Score
-	}
-	frontier := make([]cand, 0, n+2)
+	frontier := h.frontier[:0]
 	push := func(c cand) {
 		frontier = append(frontier, c)
 		i := len(frontier) - 1
@@ -200,7 +232,8 @@ func (h *Heap) TopN(dst []int64, n int) []int64 {
 	push(cand{idx: 0, score: h.items[0].score})
 	for len(frontier) > 0 && n > 0 {
 		c := pop()
-		dst = append(dst, h.items[c.idx].id)
+		e := h.items[c.idx]
+		emit(e.id, e.score)
 		n--
 		if n == 0 {
 			break
@@ -212,7 +245,7 @@ func (h *Heap) TopN(dst []int64, n int) []int64 {
 			push(cand{idx: r, score: h.items[r].score})
 		}
 	}
-	return dst
+	h.frontier = frontier[:0]
 }
 
 // Clear removes all elements.

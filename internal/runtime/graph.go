@@ -14,10 +14,18 @@ type Graph struct {
 	Tasks   []*Task
 	Handles []*DataHandle
 
-	// preds records direct predecessors per task ID; kept out of Task to
-	// avoid growing the hot struct (successors are needed on the NOD hot
-	// path, predecessors only for restricted counts and critical paths).
-	preds map[int64][]*Task
+	// preds records direct predecessors, indexed by task ID (IDs are
+	// dense submission-order integers, so a slice replaces the former
+	// map: Submit and NumPredsOn sit on the STF hot path). Kept out of
+	// Task to avoid growing the hot struct (successors are needed on the
+	// NOD hot path, predecessors only for restricted counts and critical
+	// paths).
+	preds [][]*Task
+
+	// depScratch is reused across Submit calls for the per-task
+	// dependency list (deduplicated by linear scan: tasks touch a
+	// handful of handles, so the scan beats a map allocation per task).
+	depScratch []*Task
 
 	nextTask   int64
 	nextHandle int64
@@ -25,7 +33,7 @@ type Graph struct {
 
 // NewGraph returns an empty application graph.
 func NewGraph() *Graph {
-	return &Graph{preds: make(map[int64][]*Task)}
+	return &Graph{}
 }
 
 // NewData registers a data handle of the given size residing on the main
@@ -54,19 +62,24 @@ func (g *Graph) NewDataOn(name string, bytes int64, mem platform.MemID) *DataHan
 func (g *Graph) Submit(t *Task) *Task {
 	t.ID = g.nextTask
 	g.nextTask++
-	// deps keeps first-encounter order (a slice, deduplicated through
-	// seen): edges must be inserted in a deterministic order, because
-	// Succs/Preds order is visible to the engines (successor release
-	// order) and to schedulers (tie-breaks over equal timestamps).
-	// Iterating a map here made identically-built graphs schedule
-	// differently run to run.
-	var deps []*Task
-	seen := make(map[int64]bool)
+	g.preds = append(g.preds, nil)
+	// deps keeps first-encounter order (a reused slice, deduplicated by
+	// linear scan): edges must be inserted in a deterministic order,
+	// because Succs/Preds order is visible to the engines (successor
+	// release order) and to schedulers (tie-breaks over equal
+	// timestamps). Iterating a map here made identically-built graphs
+	// schedule differently run to run.
+	deps := g.depScratch[:0]
 	dep := func(d *Task) {
-		if d != nil && d != t && !seen[d.ID] {
-			seen[d.ID] = true
-			deps = append(deps, d)
+		if d == nil || d == t {
+			return
 		}
+		for _, have := range deps {
+			if have == d {
+				return
+			}
+		}
+		deps = append(deps, d)
 	}
 	for _, a := range t.Accesses {
 		h := a.Handle
@@ -116,6 +129,7 @@ func (g *Graph) Submit(t *Task) *Task {
 	for _, d := range deps {
 		g.addEdge(d, t)
 	}
+	g.depScratch = deps[:0]
 	t.remaining.Store(t.npreds)
 	g.Tasks = append(g.Tasks, t)
 	return t
@@ -221,7 +235,7 @@ func (g *Graph) SerialTime() float64 {
 // DAG using each task's best per-arch cost: the ideal makespan with
 // infinite resources.
 func (g *Graph) CriticalPathTime() float64 {
-	longest := make(map[int64]float64, len(g.Tasks))
+	longest := make([]float64, len(g.Tasks))
 	var best float64
 	// Tasks are topologically ordered by ID (submission order).
 	for _, t := range g.Tasks {

@@ -74,6 +74,10 @@ type Sched struct {
 	queues [][]entry
 	// load[w] is the summed estimated execution time of queued tasks.
 	load []float64
+	// xfer caches TransferEstimate per memory node within one Push
+	// (several workers share a memory node; the estimate only depends
+	// on the node). -1 marks a stale entry.
+	xfer []float64
 	// seq breaks sort ties to keep equal-priority order FIFO.
 	seq int64
 }
@@ -91,6 +95,7 @@ func (s *Sched) Init(env *runtime.Env) {
 	s.env = env
 	s.queues = make([][]entry, len(env.Machine.Units))
 	s.load = make([]float64, len(env.Machine.Units))
+	s.xfer = make([]float64, len(env.Machine.Mems))
 	s.seq = 0
 }
 
@@ -102,6 +107,9 @@ func (s *Sched) Push(t *runtime.Task) {
 
 	m := s.env.Machine
 	now := s.env.Now()
+	for i := range s.xfer {
+		s.xfer[i] = -1
+	}
 	bestW := -1
 	bestECT := math.Inf(1)
 	bestEst := 0.0
@@ -113,7 +121,10 @@ func (s *Sched) Push(t *runtime.Task) {
 		est := d * unit.SpeedFactor
 		ect := now + s.load[w] + est
 		if s.variant != DM {
-			ect += s.env.TransferEstimate(t, unit.Mem)
+			if s.xfer[unit.Mem] < 0 {
+				s.xfer[unit.Mem] = s.env.TransferEstimate(t, unit.Mem)
+			}
+			ect += s.xfer[unit.Mem]
 		}
 		if ect < bestECT {
 			bestECT, bestW, bestEst = ect, w, est

@@ -129,6 +129,10 @@ func runEngine(m *platform.Machine, g *runtime.Graph, s runtime.Scheduler, opts 
 		rng:     rand.New(rand.NewSource(opts.Seed)),
 		tr:      trace.New(m),
 		left:    len(g.Tasks),
+		// Preallocate the event queue: steady state holds one compute
+		// event per busy worker plus wake/transfer events, so a few
+		// events per unit is ample and spares the early growth copies.
+		pq: make(eventQueue, 0, 8*len(m.Units)+64),
 	}
 	eng.mm = newMemoryManager(eng, g)
 	eng.commuteHeld = make(map[int64]bool)

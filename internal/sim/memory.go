@@ -55,6 +55,18 @@ type memoryManager struct {
 	overflow []int64        // bytes accepted beyond capacity per node
 	resident [][]int64      // handle IDs with non-invalid replica per node
 	links    [][]linkState
+
+	// needsScratch is reused across acquire calls (the event loop is
+	// single-threaded and acquire never nests, so one buffer suffices;
+	// the former per-call map + slice allocations dominated acquire's
+	// cost on large runs).
+	needsScratch []acquireNeed
+}
+
+// acquireNeed is one distinct handle an acquire must make available.
+type acquireNeed struct {
+	h    *runtime.DataHandle
+	read bool
 }
 
 func newMemoryManager(eng *Engine, g *runtime.Graph) *memoryManager {
@@ -129,21 +141,22 @@ func (mm *memoryManager) TransferEstimate(h *runtime.DataHandle, mem platform.Me
 // calls done when everything is available. Write-only accesses allocate
 // without fetching the previous contents.
 func (mm *memoryManager) acquire(t *runtime.Task, mem platform.MemID, done func()) {
-	type need struct {
-		h    *runtime.DataHandle
-		read bool
-	}
 	// Needs keep the access-list order: iterating a map here made the
 	// fetch issue order — and through link FIFO queueing, the whole
 	// simulation — nondeterministic across runs of the same seed.
-	needs := make([]need, 0, len(t.Accesses))
-	idx := make(map[int64]int, len(t.Accesses))
+	// Deduplication is a linear scan over the few accesses a task has.
+	needs := mm.needsScratch[:0]
 	for _, a := range t.Accesses {
-		i, ok := idx[a.Handle.ID]
-		if !ok {
+		i := -1
+		for j := range needs {
+			if needs[j].h.ID == a.Handle.ID {
+				i = j
+				break
+			}
+		}
+		if i < 0 {
 			i = len(needs)
-			idx[a.Handle.ID] = i
-			needs = append(needs, need{h: a.Handle})
+			needs = append(needs, acquireNeed{h: a.Handle})
 		}
 		if a.Mode.IsRead() {
 			needs[i].read = true
@@ -183,18 +196,26 @@ func (mm *memoryManager) acquire(t *runtime.Task, mem platform.MemID, done func(
 			mm.fetch(st, mem, false, ready)
 		}
 	}
+	// Return the scratch before the sentinel fires: done() may start
+	// another task and re-enter acquire synchronously.
+	mm.needsScratch = needs[:0]
 	ready() // consume the sentinel
 }
 
 // release unpins t's data on mem and applies write effects: written
 // handles become dirty sole copies on mem.
 func (mm *memoryManager) release(t *runtime.Task, mem platform.MemID) {
-	seen := make(map[int64]bool, len(t.Accesses))
-	for _, a := range t.Accesses {
+	for ai, a := range t.Accesses {
 		st := mm.states[a.Handle.ID]
 		r := &st.repl[mem]
-		if !seen[a.Handle.ID] {
-			seen[a.Handle.ID] = true
+		first := true
+		for _, prev := range t.Accesses[:ai] {
+			if prev.Handle.ID == a.Handle.ID {
+				first = false
+				break
+			}
+		}
+		if first {
 			r.pin--
 			if r.pin < 0 {
 				panic("sim: negative pin count")
