@@ -22,6 +22,7 @@ import (
 	"multiprio/internal/apps/dense"
 	"multiprio/internal/core"
 	"multiprio/internal/heap"
+	"multiprio/internal/obs"
 	"multiprio/internal/platform"
 	"multiprio/internal/runtime"
 	"multiprio/internal/sched/dmdas"
@@ -157,6 +158,44 @@ func BenchmarkMultiPrioPushPop(b *testing.B) {
 	}
 }
 
+// BenchmarkMultiPrioPushPopObserved is BenchmarkMultiPrioPushPop with a
+// realistic probe attached (decision log + metrics recorder fanned out
+// through obs.Multi). The delta against the unobserved benchmark is the
+// cost of observation; the unobserved benchmark itself, gated against
+// the committed baseline, proves the nil-probe path stayed free.
+func BenchmarkMultiPrioPushPopObserved(b *testing.B) {
+	m, g := benchGraph()
+	env := runtime.NewEnv(m, g)
+	workers := workerInfos(m)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		g.ResetRun()
+		env.Probe = obs.Multi{&obs.DecisionLog{}, obs.NewMetrics()}
+		b.StartTimer()
+		s := core.New(core.Defaults())
+		s.Init(env)
+		for _, t := range g.Tasks {
+			s.Push(t)
+		}
+		popped := 0
+		for progress := true; progress; {
+			progress = false
+			for _, w := range workers {
+				if t := s.Pop(w); t != nil {
+					s.TaskDone(t, w)
+					popped++
+					progress = true
+				}
+			}
+		}
+		if popped != len(g.Tasks) {
+			b.Fatalf("drained %d of %d tasks", popped, len(g.Tasks))
+		}
+	}
+}
+
 // BenchmarkDmdasPush measures the HEFT mapping step: minimum expected
 // completion time over every worker, including transfer estimates.
 func BenchmarkDmdasPush(b *testing.B) {
@@ -188,6 +227,25 @@ func BenchmarkSimEventLoop(b *testing.B) {
 		g.ResetRun()
 		b.StartTimer()
 		if _, err := sim.Run(m, g, eager.New(), sim.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimEventLoopObserved is BenchmarkSimEventLoop with the full
+// probe stack attached: engine progress counters, memory-manager usage
+// and eviction tracks, and transfer-queue depth all flow into a metrics
+// recorder plus a decision log.
+func BenchmarkSimEventLoopObserved(b *testing.B) {
+	m, g := benchGraph()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		g.ResetRun()
+		probe := obs.Multi{&obs.DecisionLog{}, obs.NewMetrics()}
+		b.StartTimer()
+		if _, err := sim.Run(m, g, eager.New(), sim.Options{Probe: probe}); err != nil {
 			b.Fatal(err)
 		}
 	}

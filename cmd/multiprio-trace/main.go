@@ -10,6 +10,25 @@
 //	                [-platform intel-v100] [-tiles 24] [-tile 960]
 //	                [-particles 200000] [-height 5] [-matrix e18]
 //	                [-streams 1] [-gantt] [-width 120]
+//	                [-chrome trace.json] [-counters-in-chrome]
+//	                [-decisions decisions.log] [-metrics metrics.csv]
+//	                [-metrics-json metrics.json]
+//
+// Observability (see DESIGN.md, "Observability"):
+//
+//	-decisions FILE   canonical scheduler decision log (push/score/pop/
+//	                  evict/map events with gain scores, LS_SDH² and
+//	                  evict-retry counts), deterministic for a fixed
+//	                  seed and diffable across runs.
+//	-metrics FILE     simulated-time counter tracks (ready counts, mem
+//	                  usage, prefetch hits, transfer queue depth) as CSV.
+//	-metrics-json FILE same, as JSON.
+//	-counters-in-chrome merge the counter tracks into the -chrome output
+//	                  as Perfetto counter tracks ("C" events).
+//
+// When -chrome is set, a decision log is collected regardless of
+// -decisions so task tooltips carry scheduler context (gain score,
+// memory node, evict retries).
 package main
 
 import (
@@ -23,91 +42,155 @@ import (
 	"multiprio/internal/apps/sparseqr"
 	"multiprio/internal/core"
 	"multiprio/internal/experiments"
+	"multiprio/internal/obs"
 	"multiprio/internal/perfmodel"
 	"multiprio/internal/runtime"
 	"multiprio/internal/sim"
 	"multiprio/internal/trace"
 )
 
+// config collects every flag of the run.
+type config struct {
+	app, sched, platform    string
+	tiles, tile             int
+	prios                   bool
+	particles, height       int
+	clustered               bool
+	matrix                  string
+	streams                 int
+	gantt                   bool
+	width, locN             int
+	eps                     float64
+	hist                    bool
+	chromeOut, csvOut       string
+	dotOut                  string
+	decisionsOut            string
+	metricsOut, metricsJSON string
+	countersInChrome        bool
+}
+
 func main() {
-	app := flag.String("app", "cholesky", "workload: cholesky, lu, qr, hier, fmm, sparseqr")
-	sched := flag.String("sched", "multiprio", "scheduler: multiprio (+ -noevict/-nocrit/-nolocal/-flatgain), dmdas, dmdar, dmda, dm, heteroprio, lws, prio, eager")
-	platformName := flag.String("platform", "intel-v100", "platform: intel-v100, amd-a100, smallsim")
-	tiles := flag.Int("tiles", 24, "dense: tile count per dimension")
-	tile := flag.Int("tile", 960, "dense: tile size")
-	prios := flag.Bool("prios", true, "dense: expert (bottom-level) user priorities for dmdas")
-	particles := flag.Int("particles", 200000, "fmm: particle count")
-	height := flag.Int("height", 5, "fmm: octree height")
-	clustered := flag.Bool("clustered", false, "fmm: clustered particle distribution")
-	matrix := flag.String("matrix", "e18", "sparseqr: matrix name from the Fig. 7 set")
-	streams := flag.Int("streams", 1, "GPU streams per device")
-	gantt := flag.Bool("gantt", false, "print the ASCII Gantt chart")
-	width := flag.Int("width", 120, "Gantt width in columns")
-	locN := flag.Int("n", 0, "multiprio: override locality window n")
-	eps := flag.Float64("eps", 0, "multiprio: override epsilon")
-	hist := flag.Bool("hist", false, "history-based performance model (StarPU-style footprint buckets) instead of oracle")
-	chromeOut := flag.String("chrome", "", "write a Chrome trace-event JSON (chrome://tracing, Perfetto) to this file")
-	csvOut := flag.String("csv", "", "write the task spans as CSV to this file")
-	dotOut := flag.String("dot", "", "write the task DAG in Graphviz DOT format to this file (truncated to 2000 tasks)")
+	var c config
+	flag.StringVar(&c.app, "app", "cholesky", "workload: cholesky, lu, qr, hier, fmm, sparseqr")
+	flag.StringVar(&c.sched, "sched", "multiprio", "scheduler: multiprio (+ -noevict/-nocrit/-nolocal/-flatgain), dmdas, dmdar, dmda, dm, heteroprio, lws, prio, eager")
+	flag.StringVar(&c.platform, "platform", "intel-v100", "platform: intel-v100, amd-a100, smallsim")
+	flag.IntVar(&c.tiles, "tiles", 24, "dense: tile count per dimension")
+	flag.IntVar(&c.tile, "tile", 960, "dense: tile size")
+	flag.BoolVar(&c.prios, "prios", true, "dense: expert (bottom-level) user priorities for dmdas")
+	flag.IntVar(&c.particles, "particles", 200000, "fmm: particle count")
+	flag.IntVar(&c.height, "height", 5, "fmm: octree height")
+	flag.BoolVar(&c.clustered, "clustered", false, "fmm: clustered particle distribution")
+	flag.StringVar(&c.matrix, "matrix", "e18", "sparseqr: matrix name from the Fig. 7 set")
+	flag.IntVar(&c.streams, "streams", 1, "GPU streams per device")
+	flag.BoolVar(&c.gantt, "gantt", false, "print the ASCII Gantt chart")
+	flag.IntVar(&c.width, "width", 120, "Gantt width in columns")
+	flag.IntVar(&c.locN, "n", 0, "multiprio: override locality window n")
+	flag.Float64Var(&c.eps, "eps", 0, "multiprio: override epsilon")
+	flag.BoolVar(&c.hist, "hist", false, "history-based performance model (StarPU-style footprint buckets) instead of oracle")
+	flag.StringVar(&c.chromeOut, "chrome", "", "write a Chrome trace-event JSON (chrome://tracing, Perfetto) to this file")
+	flag.StringVar(&c.csvOut, "csv", "", "write the task spans as CSV to this file")
+	flag.StringVar(&c.dotOut, "dot", "", "write the task DAG in Graphviz DOT format to this file (truncated to 2000 tasks)")
+	flag.StringVar(&c.decisionsOut, "decisions", "", "write the canonical scheduler decision log to this file")
+	flag.StringVar(&c.metricsOut, "metrics", "", "write the simulated-time counter tracks as CSV to this file")
+	flag.StringVar(&c.metricsJSON, "metrics-json", "", "write the simulated-time counter tracks as JSON to this file")
+	flag.BoolVar(&c.countersInChrome, "counters-in-chrome", false, "merge counter tracks into the -chrome output as Perfetto counter tracks")
 	flag.Parse()
 
-	if err := run(*app, *sched, *platformName, *tiles, *tile, *prios, *particles, *height, *clustered, *matrix, *streams, *gantt, *width, *locN, *eps, *hist, *chromeOut, *csvOut, *dotOut); err != nil {
+	if err := run(c); err != nil {
 		fmt.Fprintf(os.Stderr, "multiprio-trace: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(app, sched, platformName string, tiles, tile int, prios bool, particles, height int, clustered bool, matrix string, streams int, gantt bool, width, locN int, eps float64, hist bool, chromeOut, csvOut, dotOut string) error {
-	m, err := experiments.PlatformByName(platformName, streams)
+// writeTo creates path and hands the file to emit, reporting what was
+// written on success.
+func writeTo(path, what string, emit func(f *os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := emit(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("  wrote %s to %s\n", what, path)
+	return nil
+}
+
+func run(c config) error {
+	m, err := experiments.PlatformByName(c.platform, c.streams)
 	if err != nil {
 		return err
 	}
 	var g *runtime.Graph
-	switch app {
+	switch c.app {
 	case "cholesky":
-		g = dense.Cholesky(dense.Params{Tiles: tiles, TileSize: tile, Machine: m, UserPriorities: prios})
+		g = dense.Cholesky(dense.Params{Tiles: c.tiles, TileSize: c.tile, Machine: m, UserPriorities: c.prios})
 	case "lu":
-		g = dense.LU(dense.Params{Tiles: tiles, TileSize: tile, Machine: m, UserPriorities: prios})
+		g = dense.LU(dense.Params{Tiles: c.tiles, TileSize: c.tile, Machine: m, UserPriorities: c.prios})
 	case "qr":
-		g = dense.QR(dense.Params{Tiles: tiles, TileSize: tile, Machine: m, UserPriorities: prios})
+		g = dense.QR(dense.Params{Tiles: c.tiles, TileSize: c.tile, Machine: m, UserPriorities: c.prios})
 	case "hier":
 		g = dense.HierarchicalCholesky(dense.HierParams{
-			Blocks: tiles, SubTiles: 5, TileSize: tile, Machine: m, UserPriorities: prios,
+			Blocks: c.tiles, SubTiles: 5, TileSize: c.tile, Machine: m, UserPriorities: c.prios,
 		})
 	case "fmm":
-		g = fmm.Build(fmm.Params{Particles: particles, Height: height, Clustered: clustered, Machine: m, Seed: 12})
+		g = fmm.Build(fmm.Params{Particles: c.particles, Height: c.height, Clustered: c.clustered, Machine: m, Seed: 12})
 	case "sparseqr":
-		stats, ok := sparseqr.ByName(matrix)
+		stats, ok := sparseqr.ByName(c.matrix)
 		if !ok {
-			return fmt.Errorf("unknown matrix %q", matrix)
+			return fmt.Errorf("unknown matrix %q", c.matrix)
 		}
 		g = sparseqr.Build(stats, sparseqr.Params{Machine: m})
 	default:
-		return fmt.Errorf("unknown app %q", app)
+		return fmt.Errorf("unknown app %q", c.app)
 	}
 
 	var s runtime.Scheduler
-	if sched == "multiprio" && (locN > 0 || eps > 0) {
+	if c.sched == "multiprio" && (c.locN > 0 || c.eps > 0) {
 		cfg := core.Defaults()
-		if locN > 0 {
-			cfg.LocalityWindow = locN
+		if c.locN > 0 {
+			cfg.LocalityWindow = c.locN
 		}
-		if eps > 0 {
-			cfg.Epsilon = eps
+		if c.eps > 0 {
+			cfg.Epsilon = c.eps
 		}
 		s = core.New(cfg)
 	} else {
 		var err error
-		s, err = experiments.NewScheduler(sched)
+		s, err = experiments.NewScheduler(c.sched)
 		if err != nil {
 			return err
 		}
 	}
 	opts := sim.Options{}
-	if hist {
+	if c.hist {
 		h := perfmodel.NewHistory()
 		opts.History = h
 		opts.Estimator = h
+	}
+	// A decision log feeds both -decisions and the Chrome span args; a
+	// metrics recorder feeds -metrics/-metrics-json and the Chrome
+	// counter tracks. Only attach what some output consumes — with no
+	// observability flags the run stays on the probe-free fast path.
+	var dl *obs.DecisionLog
+	var mx *obs.Metrics
+	if c.decisionsOut != "" || c.chromeOut != "" {
+		dl = &obs.DecisionLog{}
+	}
+	if c.metricsOut != "" || c.metricsJSON != "" || (c.countersInChrome && c.chromeOut != "") {
+		mx = obs.NewMetrics()
+	}
+	switch {
+	case dl != nil && mx != nil:
+		opts.Probe = obs.Multi{dl, mx}
+	case dl != nil:
+		opts.Probe = dl
+	case mx != nil:
+		opts.Probe = mx
 	}
 	res, err := sim.Run(m, g, s, opts)
 	if err != nil {
@@ -118,7 +201,7 @@ func run(app, sched, platformName string, tiles, tile int, prios bool, particles
 	}
 
 	fmt.Printf("%s on %s under %s: %d tasks, %.1f Gflop\n",
-		app, m, s.Name(), len(g.Tasks), g.TotalFlops()/1e9)
+		c.app, m, s.Name(), len(g.Tasks), g.TotalFlops()/1e9)
 	fmt.Print(res.Trace.Summary())
 	fmt.Printf("  achieved %.0f GFlop/s; critical path bound %.4fs; serial best %.4fs\n",
 		g.TotalFlops()/res.Makespan/1e9, g.CriticalPathTime(), g.SerialTime())
@@ -166,50 +249,63 @@ func run(app, sched, platformName string, tiles, tile int, prios bool, particles
 		fmt.Printf(" %s", t.Kind)
 	}
 	fmt.Println()
-	if gantt {
-		fmt.Println(res.Trace.Gantt(width))
+	if dl != nil {
+		fmt.Printf("  decision log: %d events (%d push, %d pop, %d evict, %d map)\n",
+			dl.Len(), dl.CountKind(obs.PushBest), dl.CountKind(obs.PopSelect),
+			dl.CountKind(obs.PopEvict), dl.CountKind(obs.MapTask))
 	}
-	if chromeOut != "" {
-		f, err := os.Create(chromeOut)
-		if err != nil {
-			return err
-		}
-		if err := res.Trace.WriteChromeTrace(f); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
-			return err
-		}
-		fmt.Printf("  wrote Chrome trace to %s\n", chromeOut)
+	if c.gantt {
+		fmt.Println(res.Trace.Gantt(c.width))
 	}
-	if dotOut != "" {
-		f, err := os.Create(dotOut)
-		if err != nil {
+	if c.chromeOut != "" {
+		co := trace.ChromeOptions{}
+		if dl != nil {
+			args := dl.SpanArgs(func(mem int) string { return m.Mems[mem].Name })
+			co.SpanArgs = func(taskID int64) map[string]string { return args[taskID] }
+		}
+		if c.countersInChrome && mx != nil {
+			co.Counters = trace.ChromeCountersFrom(mx.Tracks())
+		}
+		if err := writeTo(c.chromeOut, "Chrome trace", func(f *os.File) error {
+			return res.Trace.WriteChromeTraceWith(f, co)
+		}); err != nil {
 			return err
 		}
-		if err := g.WriteDOT(f, 2000); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
-			return err
-		}
-		fmt.Printf("  wrote DAG to %s\n", dotOut)
 	}
-	if csvOut != "" {
-		f, err := os.Create(csvOut)
-		if err != nil {
+	if c.dotOut != "" {
+		if err := writeTo(c.dotOut, "DAG", func(f *os.File) error {
+			return g.WriteDOT(f, 2000)
+		}); err != nil {
 			return err
 		}
-		if err := res.Trace.WriteCSV(f); err != nil {
-			f.Close()
+	}
+	if c.csvOut != "" {
+		if err := writeTo(c.csvOut, "CSV spans", func(f *os.File) error {
+			return res.Trace.WriteCSV(f)
+		}); err != nil {
 			return err
 		}
-		if err := f.Close(); err != nil {
+	}
+	if c.decisionsOut != "" {
+		if err := writeTo(c.decisionsOut, "decision log", func(f *os.File) error {
+			return dl.WriteCanonical(f)
+		}); err != nil {
 			return err
 		}
-		fmt.Printf("  wrote CSV spans to %s\n", csvOut)
+	}
+	if c.metricsOut != "" {
+		if err := writeTo(c.metricsOut, "metrics CSV", func(f *os.File) error {
+			return mx.WriteCSV(f)
+		}); err != nil {
+			return err
+		}
+	}
+	if c.metricsJSON != "" {
+		if err := writeTo(c.metricsJSON, "metrics JSON", func(f *os.File) error {
+			return mx.WriteJSON(f)
+		}); err != nil {
+			return err
+		}
 	}
 	return nil
 }

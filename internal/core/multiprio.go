@@ -24,6 +24,7 @@ import (
 	"sync"
 
 	"multiprio/internal/heap"
+	"multiprio/internal/obs"
 	"multiprio/internal/platform"
 	"multiprio/internal/runtime"
 )
@@ -117,6 +118,14 @@ type Sched struct {
 	topBuf  []heap.ScoredID
 	archBuf []platform.ArchID
 	states  []taskState
+
+	// probe receives decision events and counter samples; nil (the
+	// default) disables observation. Track names are prebuilt at Init
+	// so the observing path does not allocate per event either.
+	probe         obs.Probe
+	readyTrack    []string
+	bestRemTrack  []string
+	evictionTrack string
 }
 
 // New returns a MultiPrio scheduler with the given configuration.
@@ -146,6 +155,16 @@ func (s *Sched) Init(env *runtime.Env) {
 	s.maxNOD = 0
 	s.Evictions = 0
 	s.states = nil
+	s.probe = env.Probe
+	if s.probe != nil {
+		s.readyTrack = make([]string, len(env.Machine.Mems))
+		s.bestRemTrack = make([]string, len(env.Machine.Mems))
+		for i, mn := range env.Machine.Mems {
+			s.readyTrack[i] = "multiprio.ready[" + mn.Name + "]"
+			s.bestRemTrack[i] = "multiprio.best_remaining[" + mn.Name + "]"
+		}
+		s.evictionTrack = "multiprio.evictions"
+	}
 }
 
 // allocState hands out per-task scratch from a slab (blocks of 256) so
@@ -182,6 +201,16 @@ func (s *Sched) Push(t *runtime.Task) {
 	_, secondDelta, _ := s.env.SecondBestArch(t)
 	s.updateHD(t, archs, bestArch, bestDelta, secondDelta)
 
+	var at float64
+	var seq int64
+	if s.probe != nil {
+		at, seq = s.env.Now(), s.env.Seq()
+		s.probe.Decision(obs.Decision{
+			Kind: obs.PushBest, At: at, Seq: seq, Task: t.ID,
+			Worker: -1, Mem: -1, Arch: int(bestArch),
+			N: len(archs), A: bestDelta, B: secondDelta,
+		})
+	}
 	inserted := false
 	for mem := range m.Mems {
 		memID := platform.MemID(mem)
@@ -201,6 +230,16 @@ func (s *Sched) Push(t *runtime.Task) {
 		s.heaps[mem].Push(t.ID, heap.Score{Primary: gain, Secondary: prio})
 		st.members |= 1 << uint(mem)
 		inserted = true
+		if s.probe != nil {
+			s.probe.Decision(obs.Decision{
+				Kind: obs.PushScore, At: at, Seq: seq, Task: t.ID,
+				Worker: -1, Mem: mem, Arch: int(a), A: gain, B: prio,
+			})
+			s.probe.Counter(s.readyTrack[mem], at, seq, float64(s.readyCount[mem]))
+			if a == bestArch {
+				s.probe.Counter(s.bestRemTrack[mem], at, seq, s.bestRemaining[mem])
+			}
+		}
 	}
 	if !inserted {
 		panic(fmt.Sprintf("multiprio: task %d (%s) inserted into no heap", t.ID, t.Kind))
@@ -218,7 +257,19 @@ func (s *Sched) Pop(w runtime.WorkerInfo) *runtime.Task {
 		if t == nil {
 			return nil
 		}
-		if s.popCondition(t, w) {
+		ok, cost, horizon := s.popCondition(t, w)
+		if ok {
+			if s.probe != nil {
+				// The LS_SDH² score must be read before claim tears the
+				// task's replica pins down — and read-only, so the
+				// observation cannot perturb the decision it records.
+				at, seq := s.env.Now(), s.env.Seq()
+				s.probe.Decision(obs.Decision{
+					Kind: obs.PopSelect, At: at, Seq: seq, Task: t.ID,
+					Worker: int(w.ID), Mem: int(w.Mem), Arch: int(w.Arch),
+					N: tries, A: s.env.LSSDH2(t, w.Mem), B: cost, C: horizon,
+				})
+			}
 			s.claim(t)
 			return t
 		}
@@ -234,6 +285,16 @@ func (s *Sched) Pop(w runtime.WorkerInfo) *runtime.Task {
 		st.members &^= 1 << uint(w.Mem)
 		s.readyCount[w.Mem]--
 		s.Evictions++
+		if s.probe != nil {
+			at, seq := s.env.Now(), s.env.Seq()
+			s.probe.Decision(obs.Decision{
+				Kind: obs.PopEvict, At: at, Seq: seq, Task: t.ID,
+				Worker: int(w.ID), Mem: int(w.Mem), Arch: int(w.Arch),
+				N: tries, A: cost, B: horizon,
+			})
+			s.probe.Counter(s.evictionTrack, at, seq, float64(s.Evictions))
+			s.probe.Counter(s.readyTrack[w.Mem], at, seq, float64(s.readyCount[w.Mem]))
+		}
 	}
 	return nil
 }
@@ -250,6 +311,11 @@ func (s *Sched) claim(t *runtime.Task) {
 		panic(fmt.Sprintf("multiprio: task %d double-claimed", t.ID))
 	}
 	st := t.SchedData.(*taskState)
+	var at float64
+	var seq int64
+	if s.probe != nil {
+		at, seq = s.env.Now(), s.env.Seq()
+	}
 	for mem := range s.heaps {
 		if st.members&(1<<uint(mem)) == 0 {
 			continue
@@ -261,6 +327,12 @@ func (s *Sched) claim(t *runtime.Task) {
 			if s.bestRemaining[mem] < 0 {
 				s.bestRemaining[mem] = 0
 			}
+			if s.probe != nil {
+				s.probe.Counter(s.bestRemTrack[mem], at, seq, s.bestRemaining[mem])
+			}
+		}
+		if s.probe != nil {
+			s.probe.Counter(s.readyTrack[mem], at, seq, float64(s.readyCount[mem]))
 		}
 	}
 	st.members = 0
@@ -300,6 +372,14 @@ func (s *Sched) mostLocalPrioTask(mem platform.MemID) *runtime.Task {
 		}
 		t := s.byID[c.ID]
 		if t == nil {
+			// A duplicate left behind by lazy removal: the task was
+			// already claimed through another node's heap.
+			if s.probe != nil {
+				s.probe.Decision(obs.Decision{
+					Kind: obs.PopStale, At: s.env.Now(), Seq: s.env.Seq(),
+					Task: c.ID, Worker: -1, Mem: int(mem), Arch: -1,
+				})
+			}
 			continue
 		}
 		if loc := s.env.LSSDH2(t, mem); loc > bestLoc {
@@ -337,13 +417,16 @@ func (s *Sched) missingBytes(t *runtime.Task, mem platform.MemID) int64 {
 // worker's execution time includes its unit speed factor (GPU stream
 // workers share their device), so a stream worker is charged the real
 // time the steal would occupy the device slot.
-func (s *Sched) popCondition(t *runtime.Task, w runtime.WorkerInfo) bool {
+//
+// The steal cost and the remaining-work horizon it was compared against
+// are returned for the probe (both 0 on the trivially-true branches).
+func (s *Sched) popCondition(t *runtime.Task, w runtime.WorkerInfo) (ok bool, cost, horizon float64) {
 	if s.cfg.DisableEviction {
-		return true
+		return true, 0, 0
 	}
 	st := t.SchedData.(*taskState)
 	if w.Arch == st.bestArch {
-		return true
+		return true, 0, 0
 	}
 	minHorizon := math.Inf(1)
 	for mem := range s.env.Machine.Mems {
@@ -354,8 +437,8 @@ func (s *Sched) popCondition(t *runtime.Task, w runtime.WorkerInfo) bool {
 			minHorizon = h
 		}
 	}
-	cost := s.env.Delta(t, w.Arch) * s.env.Machine.Units[w.ID].SpeedFactor
-	return minHorizon > cost
+	cost = s.env.Delta(t, w.Arch) * s.env.Machine.Units[w.ID].SpeedFactor
+	return minHorizon > cost, cost, minHorizon
 }
 
 // gain computes the gain heuristic of Eq. 1 for task t on architecture

@@ -3,6 +3,7 @@ package runtime
 import (
 	"math"
 
+	"multiprio/internal/obs"
 	"multiprio/internal/perfmodel"
 	"multiprio/internal/platform"
 )
@@ -62,6 +63,16 @@ type Env struct {
 	// Prefetch asks the engine to stage the task's data on mem in the
 	// background. Engines without transfers leave it nil.
 	Prefetch func(t *Task, mem platform.MemID)
+	// Probe receives scheduler decision events and counter samples
+	// (internal/obs). Nil disables observation; schedulers must guard
+	// every probe call site with a nil check so the disabled path is
+	// free, and must never let observation influence a decision.
+	Probe obs.Probe
+	// Seq returns the engine's last-assigned linearization sequence
+	// number, for stamping probe events against trace.Span.StartSeq.
+	// It is strictly read-only: calling it never advances the
+	// sequencer. Engines without a sequencer return 0.
+	Seq func() int64
 }
 
 // Delta returns δ(t, a): the estimated execution time of t on
@@ -174,5 +185,6 @@ func NewEnv(m *platform.Machine, g *Graph) *Env {
 		Model:   perfmodel.Oracle{},
 		Locator: homeLocator{},
 		Now:     func() float64 { return 0 },
+		Seq:     func() int64 { return 0 },
 	}
 }

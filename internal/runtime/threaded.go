@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"multiprio/internal/obs"
 	"multiprio/internal/perfmodel"
 	"multiprio/internal/platform"
 )
@@ -23,6 +24,12 @@ type ThreadedEngine struct {
 	// (normalized by the unit speed factor) so schedulers estimate from
 	// real measurements on subsequent runs.
 	History *perfmodel.History
+	// Probe, when non-nil, receives scheduler decision events and
+	// engine progress counters (internal/obs), stamped with wall-clock
+	// seconds since run start. Unlike the simulator there is no
+	// linearization sequencer, so Seq stamps are 0 and the event order
+	// is only as deterministic as the goroutine schedule.
+	Probe obs.Probe
 }
 
 // ErrStarved is returned when every worker is idle, no task is running,
@@ -42,6 +49,7 @@ func (e *ThreadedEngine) Run(g *Graph) (float64, error) {
 	if e.History != nil {
 		env.Model = e.History
 	}
+	env.Probe = e.Probe
 	e.Sched.Init(env)
 
 	var (
@@ -57,7 +65,23 @@ func (e *ThreadedEngine) Run(g *Graph) (float64, error) {
 		// queue is not enough (per-worker-queue policies like dmdas
 		// map tasks to specific workers).
 		nilStreak int
+		// pushed/popped/done feed the engine progress counters; they
+		// are only maintained while a probe is attached and, like the
+		// scheduler state, are guarded by mu.
+		pushed, popped, done int
 	)
+	// noteProgress samples submitted/ready/running/completed. Callers
+	// hold mu.
+	noteProgress := func() {
+		if e.Probe == nil {
+			return
+		}
+		at := now()
+		e.Probe.Counter("runtime.submitted", at, 0, float64(pushed))
+		e.Probe.Counter("runtime.ready", at, 0, float64(pushed-popped))
+		e.Probe.Counter("runtime.running", at, 0, float64(running))
+		e.Probe.Counter("runtime.completed", at, 0, float64(done))
+	}
 	workers := make([]WorkerInfo, len(e.Machine.Units))
 	for i, u := range e.Machine.Units {
 		workers[i] = WorkerInfo{ID: platform.UnitID(i), Arch: u.Arch, Mem: u.Mem}
@@ -66,7 +90,9 @@ func (e *ThreadedEngine) Run(g *Graph) (float64, error) {
 	for _, t := range g.Roots(nil) {
 		t.ReadyAt = 0
 		e.Sched.Push(t)
+		pushed++
 	}
+	noteProgress()
 
 	var wg sync.WaitGroup
 	for _, w := range workers {
@@ -85,6 +111,7 @@ func (e *ThreadedEngine) Run(g *Graph) (float64, error) {
 					t = e.Sched.Pop(w)
 					if t != nil {
 						nilStreak = 0
+						popped++
 						break
 					}
 					nilStreak++
@@ -97,6 +124,7 @@ func (e *ThreadedEngine) Run(g *Graph) (float64, error) {
 					cond.Wait()
 				}
 				running++
+				noteProgress()
 				mu.Unlock()
 
 				e.execute(t, w, now)
@@ -104,17 +132,22 @@ func (e *ThreadedEngine) Run(g *Graph) (float64, error) {
 				mu.Lock()
 				running--
 				remaining--
+				done++
 				mu.Unlock()
 
+				released := 0
 				for _, s := range t.Succs() {
 					if s.ReleaseDep() {
 						s.ReadyAt = now()
 						e.Sched.Push(s)
+						released++
 					}
 				}
 				e.Sched.TaskDone(t, w)
 				mu.Lock()
 				nilStreak = 0 // new work may be visible: reprobe everywhere
+				pushed += released
+				noteProgress()
 				mu.Unlock()
 				cond.Broadcast()
 			}

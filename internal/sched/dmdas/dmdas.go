@@ -23,6 +23,7 @@ import (
 	"sort"
 	"sync"
 
+	"multiprio/internal/obs"
 	"multiprio/internal/platform"
 	"multiprio/internal/runtime"
 )
@@ -80,6 +81,13 @@ type Sched struct {
 	xfer []float64
 	// seq breaks sort ties to keep equal-priority order FIFO.
 	seq int64
+
+	// probe receives mapping decisions and per-worker load/queue-depth
+	// counters; nil disables observation. Track names are prebuilt at
+	// Init so the observing path does not allocate.
+	probe      obs.Probe
+	loadTrack  []string
+	queueTrack []string
 }
 
 // New returns a scheduler of the given variant.
@@ -97,6 +105,16 @@ func (s *Sched) Init(env *runtime.Env) {
 	s.load = make([]float64, len(env.Machine.Units))
 	s.xfer = make([]float64, len(env.Machine.Mems))
 	s.seq = 0
+	s.probe = env.Probe
+	if s.probe != nil {
+		name := s.variant.String()
+		s.loadTrack = make([]string, len(env.Machine.Units))
+		s.queueTrack = make([]string, len(env.Machine.Units))
+		for i, u := range env.Machine.Units {
+			s.loadTrack[i] = name + ".load[" + u.Name + "]"
+			s.queueTrack[i] = name + ".queue[" + u.Name + "]"
+		}
+	}
 }
 
 // Push implements runtime.Scheduler: the HEFT step. The task is mapped
@@ -148,6 +166,20 @@ func (s *Sched) Push(t *runtime.Task) {
 	s.queues[bestW] = q
 	s.load[bestW] += bestEst
 
+	if s.probe != nil {
+		at, seq := now, s.env.Seq()
+		xfer := 0.0
+		if s.variant != DM {
+			xfer = s.xfer[m.Units[bestW].Mem]
+		}
+		s.probe.Decision(obs.Decision{
+			Kind: obs.MapTask, At: at, Seq: seq, Task: t.ID,
+			Worker: bestW, Mem: int(m.Units[bestW].Mem), Arch: int(m.Units[bestW].Arch),
+			A: bestECT, B: bestEst, C: xfer,
+		})
+		s.probe.Counter(s.loadTrack[bestW], at, seq, s.load[bestW])
+		s.probe.Counter(s.queueTrack[bestW], at, seq, float64(len(q)))
+	}
 	if s.variant != DM && s.env.Prefetch != nil {
 		s.env.Prefetch(t, m.Units[bestW].Mem)
 	}
@@ -192,6 +224,17 @@ func (s *Sched) Pop(w runtime.WorkerInfo) *runtime.Task {
 	}
 	if !e.t.TryClaim() {
 		panic(fmt.Sprintf("dmdas: task %d claimed twice", e.t.ID))
+	}
+	if s.probe != nil {
+		// N is the queue index the task was taken from: non-zero means
+		// a data-ready task bypassed the head (dmdas/dmdar only).
+		at, seq := s.env.Now(), s.env.Seq()
+		s.probe.Decision(obs.Decision{
+			Kind: obs.PopSelect, At: at, Seq: seq, Task: e.t.ID,
+			Worker: int(w.ID), Mem: int(w.Mem), Arch: int(w.Arch), N: idx,
+		})
+		s.probe.Counter(s.loadTrack[w.ID], at, seq, s.load[w.ID])
+		s.probe.Counter(s.queueTrack[w.ID], at, seq, float64(len(s.queues[w.ID])))
 	}
 	return e.t
 }

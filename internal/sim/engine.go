@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"multiprio/internal/obs"
 	"multiprio/internal/perfmodel"
 	"multiprio/internal/platform"
 	"multiprio/internal/runtime"
@@ -40,6 +41,13 @@ type Options struct {
 	// one computing plus lookahead slots whose data transfers overlap
 	// the current compute, as StarPU workers do. Default 2.
 	Pipeline int
+	// Probe receives scheduler decision events and engine counter
+	// samples (internal/obs), stamped with simulated time and the
+	// engine's linearization sequence. Nil disables observation.
+	// Attaching a probe never perturbs the simulation: probes read the
+	// sequencer without advancing it, and the canonical trace is
+	// byte-identical with and without one.
+	Probe obs.Probe
 }
 
 // Result reports one simulated run.
@@ -79,6 +87,14 @@ type Engine struct {
 	// plus retry continuations parked on a busy lock.
 	commuteHeld    map[int64]bool
 	commuteWaiters map[int64][]func()
+
+	// probe mirrors opts.Probe; pushed/popped/completed feed the
+	// engine-level submitted/ready/completed counters and are only
+	// maintained while a probe is attached.
+	probe     obs.Probe
+	pushed    int64
+	popped    int64
+	completed int64
 }
 
 type simWorker struct {
@@ -134,6 +150,7 @@ func runEngine(m *platform.Machine, g *runtime.Graph, s runtime.Scheduler, opts 
 		// events per unit is ample and spares the early growth copies.
 		pq: make(eventQueue, 0, 8*len(m.Units)+64),
 	}
+	eng.probe = opts.Probe
 	eng.mm = newMemoryManager(eng, g)
 	eng.commuteHeld = make(map[int64]bool)
 	eng.commuteWaiters = make(map[int64][]func())
@@ -156,6 +173,13 @@ func runEngine(m *platform.Machine, g *runtime.Graph, s runtime.Scheduler, opts 
 	env.Prefetch = func(t *runtime.Task, mem platform.MemID) {
 		eng.mm.prefetch(t, mem)
 	}
+	if opts.Probe != nil {
+		env.Probe = opts.Probe
+		// Read-only view of the linearization sequencer: probes stamp
+		// events with the last-assigned seq and never advance it. Only
+		// installed (one closure allocation) when a probe consumes it.
+		env.Seq = func() int64 { return eng.seq }
+	}
 	s.Init(env)
 
 	maxEvents := opts.MaxEvents
@@ -166,7 +190,11 @@ func runEngine(m *platform.Machine, g *runtime.Graph, s runtime.Scheduler, opts 
 	for _, t := range g.Roots(nil) {
 		t.ReadyAt = 0
 		s.Push(t)
+		if eng.probe != nil {
+			eng.pushed++
+		}
 	}
+	eng.noteProgress()
 	for i := range eng.workers {
 		eng.wake(platform.UnitID(i))
 	}
@@ -188,6 +216,18 @@ func runEngine(m *platform.Machine, g *runtime.Graph, s runtime.Scheduler, opts 
 			ErrDeadlock, eng.left, len(g.Tasks), eng.now, s.Name())
 	}
 	return eng, nil
+}
+
+// noteProgress samples the engine-level progress counters: tasks whose
+// dependencies released so far (submitted to the scheduler), tasks
+// ready (submitted and not yet handed to a worker), and completions.
+func (eng *Engine) noteProgress() {
+	if eng.probe == nil {
+		return
+	}
+	eng.probe.Counter("sim.submitted", eng.now, eng.seq, float64(eng.pushed))
+	eng.probe.Counter("sim.ready", eng.now, eng.seq, float64(eng.pushed-eng.popped))
+	eng.probe.Counter("sim.completed", eng.now, eng.seq, float64(eng.completed))
 }
 
 // at schedules fn at time t (>= now).
@@ -268,6 +308,10 @@ func (eng *Engine) tryPop(w platform.UnitID) {
 	}
 	if !t.Claimed() {
 		panic(fmt.Sprintf("sim: scheduler %s returned unclaimed task %d", eng.sched.Name(), t.ID))
+	}
+	if eng.probe != nil {
+		eng.popped++
+		eng.noteProgress()
 	}
 	wk.inflight++
 	eng.stageTask(t, wk)
@@ -390,7 +434,14 @@ func (eng *Engine) finishTask(t *runtime.Task, wk *simWorker, wait, dur float64,
 		if s.ReleaseDep() {
 			s.ReadyAt = eng.now
 			eng.sched.Push(s)
+			if eng.probe != nil {
+				eng.pushed++
+			}
 		}
+	}
+	if eng.probe != nil {
+		eng.completed++
+		eng.noteProgress()
 	}
 	eng.sched.TaskDone(t, wk.info)
 	wk.computing = nil

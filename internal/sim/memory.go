@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"multiprio/internal/obs"
 	"multiprio/internal/platform"
 	"multiprio/internal/runtime"
 	"multiprio/internal/trace"
@@ -25,6 +26,10 @@ type replica struct {
 	dirty   bool
 	pin     int
 	lastUse int64 // engine sequence number of last touch, for LRU
+	// viaPrefetch marks a payload staged by a prefetch and not yet
+	// consumed by an acquire; it feeds the prefetch hit/late/wasted
+	// counters and is never read by placement or eviction decisions.
+	viaPrefetch bool
 	// waiters run when the replica becomes valid.
 	waiters []func()
 }
@@ -61,6 +66,18 @@ type memoryManager struct {
 	// the former per-call map + slice allocations dominated acquire's
 	// cost on large runs).
 	needsScratch []acquireNeed
+
+	// Observability (nil probe disables all of it): prebuilt per-node
+	// track names plus the running totals behind the counter tracks.
+	probe        obs.Probe
+	usedTrack    []string
+	evictTrack   []string
+	ovTrack      []string
+	evictions    []int64
+	inflight     int64
+	prefetchHit  int64
+	prefetchLate int64
+	prefetchLost int64
 }
 
 // acquireNeed is one distinct handle an acquire must make available.
@@ -93,7 +110,29 @@ func newMemoryManager(eng *Engine, g *runtime.Graph) *memoryManager {
 		mm.used[h.Home] += h.Bytes
 		mm.resident[h.Home] = append(mm.resident[h.Home], h.ID)
 	}
+	if eng.probe != nil {
+		mm.probe = eng.probe
+		mm.usedTrack = make([]string, len(m.Mems))
+		mm.evictTrack = make([]string, len(m.Mems))
+		mm.ovTrack = make([]string, len(m.Mems))
+		mm.evictions = make([]int64, len(m.Mems))
+		for i, mn := range m.Mems {
+			mm.usedTrack[i] = "mem.used[" + mn.Name + "]"
+			mm.evictTrack[i] = "mem.evictions[" + mn.Name + "]"
+			mm.ovTrack[i] = "mem.overflow[" + mn.Name + "]"
+			// Initial residency (home placement), sampled at t=0.
+			mm.probe.Counter(mm.usedTrack[i], 0, 0, float64(mm.used[i]))
+		}
+	}
 	return mm
+}
+
+// noteUsed samples the used-bytes counter of mem; call after every
+// mutation of mm.used so the Perfetto track shows exact residency.
+func (mm *memoryManager) noteUsed(mem platform.MemID) {
+	if mm.probe != nil {
+		mm.probe.Counter(mm.usedTrack[mem], mm.eng.now, mm.eng.seq, float64(mm.used[mem]))
+	}
 }
 
 // event records a replica state change for the execution oracle when
@@ -174,6 +213,21 @@ func (mm *memoryManager) acquire(t *runtime.Task, mem platform.MemID, done func(
 		r := &st.repl[mem]
 		r.pin++
 		r.lastUse = mm.eng.nextSeq()
+		if n.read && r.viaPrefetch {
+			// A prefetched payload is being consumed: a hit when it
+			// already landed, late when the demand caught the transfer
+			// still in flight. Counted once per staged payload.
+			r.viaPrefetch = false
+			if mm.probe != nil {
+				if r.state == replValid {
+					mm.prefetchHit++
+					mm.probe.Counter("sim.prefetch.hits", mm.eng.now, mm.eng.seq, float64(mm.prefetchHit))
+				} else {
+					mm.prefetchLate++
+					mm.probe.Counter("sim.prefetch.late", mm.eng.now, mm.eng.seq, float64(mm.prefetchLate))
+				}
+			}
+		}
 		switch {
 		case r.state == replValid:
 			// Already here.
@@ -237,8 +291,10 @@ func (mm *memoryManager) release(t *runtime.Task, mem platform.MemID) {
 				if o.state == replValid {
 					o.state = replInvalid
 					o.dirty = false
+					o.viaPrefetch = false
 					mm.used[other] -= st.h.Bytes
 					mm.event(trace.MemFree, st.h, platform.MemID(other), 0)
+					mm.noteUsed(platform.MemID(other))
 				}
 			}
 		}
@@ -300,6 +356,7 @@ func (mm *memoryManager) fetch(st *handleState, dst platform.MemID, isPrefetch b
 		panic(fmt.Sprintf("sim: handle %q has no valid or in-flight replica", st.h.Name))
 	}
 	r.state = replFetching
+	r.viaPrefetch = isPrefetch
 	if cb != nil {
 		r.waiters = append(r.waiters, cb)
 	}
@@ -319,6 +376,9 @@ func (mm *memoryManager) allocate(mem platform.MemID, h *runtime.DataHandle) {
 		for mm.used[mem]+h.Bytes > cap {
 			if !mm.evictOne(mem, h.ID) {
 				mm.overflow[mem] += mm.used[mem] + h.Bytes - cap
+				if mm.probe != nil {
+					mm.probe.Counter(mm.ovTrack[mem], mm.eng.now, mm.eng.seq, float64(mm.overflow[mem]))
+				}
 				break
 			}
 		}
@@ -326,6 +386,7 @@ func (mm *memoryManager) allocate(mem platform.MemID, h *runtime.DataHandle) {
 	mm.used[mem] += h.Bytes
 	mm.event(trace.MemAlloc, h, mem, 0)
 	mm.resident[mem] = append(mm.resident[mem], h.ID)
+	mm.noteUsed(mem)
 }
 
 // evictOne drops the least-recently-used unpinned valid replica on mem,
@@ -363,6 +424,15 @@ func (mm *memoryManager) evictOne(mem platform.MemID, protect int64) bool {
 	id := mm.resident[mem][bestIdx]
 	st := mm.states[id]
 	r := &st.repl[mem]
+	if r.viaPrefetch {
+		// A prefetched payload evicted before any acquire touched it:
+		// the prefetch was wasted bandwidth.
+		r.viaPrefetch = false
+		if mm.probe != nil {
+			mm.prefetchLost++
+			mm.probe.Counter("sim.prefetch.wasted", mm.eng.now, mm.eng.seq, float64(mm.prefetchLost))
+		}
+	}
 	if r.dirty {
 		// Sole copy: push it back to RAM. The bytes leave this node
 		// now; readers chase the RAM replica which is replFetching
@@ -376,6 +446,7 @@ func (mm *memoryManager) evictOne(mem platform.MemID, protect int64) bool {
 			mm.used[platform.MemRAM] += st.h.Bytes
 			mm.event(trace.MemAlloc, st.h, platform.MemRAM, 0)
 			mm.resident[platform.MemRAM] = append(mm.resident[platform.MemRAM], id)
+			mm.noteUsed(platform.MemRAM)
 			mm.transfer(st, mem, platform.MemRAM, false, true)
 		}
 	}
@@ -384,6 +455,11 @@ func (mm *memoryManager) evictOne(mem platform.MemID, protect int64) bool {
 	mm.used[mem] -= st.h.Bytes
 	mm.event(trace.MemFree, st.h, mem, 0)
 	mm.resident[mem] = append(mm.resident[mem][:bestIdx], mm.resident[mem][bestIdx+1:]...)
+	mm.noteUsed(mem)
+	if mm.probe != nil {
+		mm.evictions[mem]++
+		mm.probe.Counter(mm.evictTrack[mem], mm.eng.now, mm.eng.seq, float64(mm.evictions[mem]))
+	}
 	return true
 }
 
@@ -406,7 +482,15 @@ func (mm *memoryManager) transfer(st *handleState, src, dst platform.MemID, isPr
 		})
 	}
 	gen := st.gen
+	if mm.probe != nil {
+		mm.inflight++
+		mm.probe.Counter("sim.transfers.inflight", now, mm.eng.seq, float64(mm.inflight))
+	}
 	mm.eng.at(end, func() {
+		if mm.probe != nil {
+			mm.inflight--
+			mm.probe.Counter("sim.transfers.inflight", mm.eng.now, mm.eng.seq, float64(mm.inflight))
+		}
 		r := &st.repl[dst]
 		if r.state != replFetching {
 			return // replica was torn down while in flight
@@ -418,6 +502,14 @@ func (mm *memoryManager) transfer(st *handleState, src, dst platform.MemID, isPr
 			r.state = replInvalid
 			mm.used[dst] -= st.h.Bytes
 			mm.event(trace.MemFree, st.h, dst, 0)
+			mm.noteUsed(dst)
+			if r.viaPrefetch {
+				r.viaPrefetch = false
+				if mm.probe != nil {
+					mm.prefetchLost++
+					mm.probe.Counter("sim.prefetch.wasted", mm.eng.now, mm.eng.seq, float64(mm.prefetchLost))
+				}
+			}
 			ws := r.waiters
 			r.waiters = nil
 			for _, w := range ws {

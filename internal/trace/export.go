@@ -5,21 +5,66 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
+
+	"multiprio/internal/obs"
 )
 
 // chromeEvent is one entry of the Chrome trace-event format (the
 // "trace_event" JSON consumed by chrome://tracing and Perfetto), the
 // modern equivalent of the Paje traces StarVZ renders.
 type chromeEvent struct {
-	Name string            `json:"name"`
-	Cat  string            `json:"cat"`
-	Ph   string            `json:"ph"`
-	TS   float64           `json:"ts"`  // microseconds
-	Dur  float64           `json:"dur"` // microseconds
-	PID  int               `json:"pid"`
-	TID  int               `json:"tid"`
-	Args map[string]string `json:"args,omitempty"`
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`  // microseconds
+	Dur  float64        `json:"dur,omitempty"` // microseconds
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// Process IDs of the Chrome trace rows: workers (task spans), links
+// (transfers), counters (Perfetto counter tracks).
+const (
+	chromePIDWorkers  = 0
+	chromePIDLinks    = 1
+	chromePIDCounters = 2
+)
+
+// ChromeCounter is one sample of a Perfetto counter track merged into
+// the Chrome trace output ("C" phase events). Perfetto renders each
+// distinct Track name as its own plot under the "counters" process.
+type ChromeCounter struct {
+	Track string
+	TS    float64 // seconds
+	Value float64
+}
+
+// ChromeOptions extends WriteChromeTrace with scheduler-internals
+// context from the observability layer (internal/obs).
+type ChromeOptions struct {
+	// SpanArgs, when non-nil, returns extra args for the span of the
+	// given task — gain score, memory node, evict-retry count — so
+	// Perfetto task tooltips explain placement. Nil entries are fine.
+	SpanArgs func(taskID int64) map[string]string
+	// Counters are merged as counter-track samples ("C" events) under
+	// a dedicated "counters" process row.
+	Counters []ChromeCounter
+}
+
+// ChromeCountersFrom flattens obs.Metrics tracks into the counter
+// samples WriteChromeTraceWith merges into the trace. Tracks arrive
+// sorted by name and samples by time, so the output is deterministic.
+func ChromeCountersFrom(tracks []*obs.Track) []ChromeCounter {
+	var out []ChromeCounter
+	for _, tr := range tracks {
+		for _, s := range tr.Samples {
+			out = append(out, ChromeCounter{Track: tr.Name, TS: s.At, Value: s.Value})
+		}
+	}
+	return out
 }
 
 // WriteChromeTrace renders the trace in Chrome trace-event JSON: one
@@ -27,22 +72,74 @@ type chromeEvent struct {
 // transfer on a per-link row. Load the output in chrome://tracing or
 // https://ui.perfetto.dev to get the paper's Fig. 4-style Gantt view.
 func (tr *Trace) WriteChromeTrace(w io.Writer) error {
-	events := make([]chromeEvent, 0, len(tr.Spans)+len(tr.Xfers)+8)
-	for u, unit := range tr.Machine.Units {
+	return tr.WriteChromeTraceWith(w, ChromeOptions{})
+}
+
+// WriteChromeTraceWith is WriteChromeTrace plus scheduler-context span
+// args and Perfetto counter tracks.
+func (tr *Trace) WriteChromeTraceWith(w io.Writer, o ChromeOptions) error {
+	events := make([]chromeEvent, 0, len(tr.Spans)+len(tr.Xfers)+len(o.Counters)+8)
+	for pid, name := range []string{
+		chromePIDWorkers:  "workers",
+		chromePIDLinks:    "links",
+		chromePIDCounters: "counters",
+	} {
+		if pid == chromePIDLinks && len(tr.Xfers) == 0 {
+			continue
+		}
+		if pid == chromePIDCounters && len(o.Counters) == 0 {
+			continue
+		}
 		events = append(events, chromeEvent{
-			Name: "thread_name", Ph: "M", PID: 0, TID: u,
-			Args: map[string]string{"name": unit.Name},
+			Name: "process_name", Ph: "M", PID: pid,
+			Args: map[string]any{"name": name},
+		}, chromeEvent{
+			Name: "process_sort_index", Ph: "M", PID: pid,
+			Args: map[string]any{"sort_index": pid},
+		})
+	}
+	// Worker rows are named and sorted by (architecture, memory node,
+	// unit), so Perfetto groups the CPU workers together and each GPU's
+	// stream workers next to each other instead of raw unit order.
+	order := make([]int, len(tr.Machine.Units))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ua, ub := tr.Machine.Units[order[a]], tr.Machine.Units[order[b]]
+		if ua.Arch != ub.Arch {
+			return ua.Arch < ub.Arch
+		}
+		if ua.Mem != ub.Mem {
+			return ua.Mem < ub.Mem
+		}
+		return order[a] < order[b]
+	})
+	for rank, u := range order {
+		unit := tr.Machine.Units[u]
+		events = append(events, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: chromePIDWorkers, TID: u,
+			Args: map[string]any{"name": fmt.Sprintf("%s (%s, %s)",
+				unit.Name, tr.Machine.ArchName(unit.Arch), tr.Machine.Mems[unit.Mem].Name)},
+		}, chromeEvent{
+			Name: "thread_sort_index", Ph: "M", PID: chromePIDWorkers, TID: u,
+			Args: map[string]any{"sort_index": rank},
 		})
 	}
 	for _, s := range tr.Spans {
 		ev := chromeEvent{
 			Name: s.Kind, Cat: "task", Ph: "X",
 			TS: s.Start * 1e6, Dur: (s.End - s.Start) * 1e6,
-			PID: 0, TID: int(s.Worker),
-			Args: map[string]string{"task": strconv.FormatInt(s.TaskID, 10)},
+			PID: chromePIDWorkers, TID: int(s.Worker),
+			Args: map[string]any{"task": strconv.FormatInt(s.TaskID, 10)},
 		}
 		if s.Wait > 0 {
 			ev.Args["transfer_wait_us"] = strconv.FormatFloat(s.Wait*1e6, 'f', 1, 64)
+		}
+		if o.SpanArgs != nil {
+			for k, v := range o.SpanArgs(s.TaskID) {
+				ev.Args[k] = v
+			}
 		}
 		events = append(events, ev)
 	}
@@ -56,8 +153,8 @@ func (tr *Trace) WriteChromeTrace(w io.Writer) error {
 			linkRow++
 			linkTIDs[key] = tid
 			events = append(events, chromeEvent{
-				Name: "thread_name", Ph: "M", PID: 1, TID: tid,
-				Args: map[string]string{"name": fmt.Sprintf("link %s->%s",
+				Name: "thread_name", Ph: "M", PID: chromePIDLinks, TID: tid,
+				Args: map[string]any{"name": fmt.Sprintf("link %s->%s",
 					tr.Machine.Mems[x.Src].Name, tr.Machine.Mems[x.Dst].Name)},
 			})
 		}
@@ -72,7 +169,14 @@ func (tr *Trace) WriteChromeTrace(w io.Writer) error {
 			Name: fmt.Sprintf("h%d (%d B)", x.Handle, x.Bytes),
 			Cat:  cat, Ph: "X",
 			TS: x.Start * 1e6, Dur: (x.End - x.Start) * 1e6,
-			PID: 1, TID: tid,
+			PID: chromePIDLinks, TID: tid,
+		})
+	}
+	for _, c := range o.Counters {
+		events = append(events, chromeEvent{
+			Name: c.Track, Cat: "counter", Ph: "C",
+			TS: c.TS * 1e6, PID: chromePIDCounters,
+			Args: map[string]any{"value": c.Value},
 		})
 	}
 	enc := json.NewEncoder(w)
