@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	multiprio-bench -exp table2|fig3|fig4|fig5|fig6|fig8|ablation|all [-scale quick|full] [-gantt]
+//	multiprio-bench -exp table2|fig3|fig4|fig5|fig6|fig8|ablation|faults|all [-scale quick|full] [-gantt]
 //	                [-j N] [-cpuprofile f.pprof] [-memprofile f.pprof]
 //
 // The sweep experiments (fig5, fig6, fig8, ablation, stress) run their
@@ -22,14 +22,18 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: table2, fig3, fig4, fig5, fig6, fig7, fig8, ablation, hier, energy, stress, overhead, all")
+	exp := flag.String("exp", "all", "experiment to run: table2, fig3, fig4, fig5, fig6, fig7, fig8, ablation, hier, energy, stress, overhead, faults, all")
 	scaleFlag := flag.String("scale", "quick", "problem sizing: quick (seconds) or full (paper-scale, minutes)")
 	gantt := flag.Bool("gantt", false, "include ASCII Gantt traces where applicable (fig4)")
+	quick := flag.Bool("quick", false, "shorthand for -scale quick (CI smoke runs)")
 	jobs := flag.Int("j", runtime.NumCPU(), "sweep worker-pool size (1 = serial; output is identical either way)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
 
+	if *quick {
+		*scaleFlag = "quick"
+	}
 	var scale experiments.Scale
 	switch *scaleFlag {
 	case "quick":
@@ -183,10 +187,18 @@ func run(exp string, scale experiments.Scale, gantt bool) error {
 			r.Print(out)
 			return nil
 		},
+		"faults": func() error {
+			r, err := experiments.RunFaults(scale, prog)
+			if err != nil {
+				return err
+			}
+			r.Print(out)
+			return nil
+		},
 	}
 
 	if exp == "all" {
-		for _, name := range []string{"table2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "ablation", "hier", "energy", "stress", "overhead"} {
+		for _, name := range []string{"table2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "ablation", "hier", "energy", "stress", "overhead", "faults"} {
 			fmt.Fprintf(out, "\n========== %s ==========\n", name)
 			if err := runs[name](); err != nil {
 				return fmt.Errorf("%s: %w", name, err)

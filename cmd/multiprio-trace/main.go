@@ -45,6 +45,7 @@ import (
 	"multiprio/internal/obs"
 	"multiprio/internal/perfmodel"
 	"multiprio/internal/runtime"
+	"multiprio/internal/sched/registry"
 	"multiprio/internal/sim"
 	"multiprio/internal/trace"
 )
@@ -149,22 +150,12 @@ func run(c config) error {
 		return fmt.Errorf("unknown app %q", c.app)
 	}
 
-	var s runtime.Scheduler
-	if c.sched == "multiprio" && (c.locN > 0 || c.eps > 0) {
-		cfg := core.Defaults()
-		if c.locN > 0 {
-			cfg.LocalityWindow = c.locN
-		}
-		if c.eps > 0 {
-			cfg.Epsilon = c.eps
-		}
-		s = core.New(cfg)
-	} else {
-		var err error
-		s, err = experiments.NewScheduler(c.sched)
-		if err != nil {
-			return err
-		}
+	// The registry resolves the policy by name; -n/-eps are generic
+	// knobs (registry.Options) that policies without a matching config
+	// field simply ignore.
+	s, err := registry.New(c.sched, registry.Options{LocalityWindow: c.locN, Epsilon: c.eps})
+	if err != nil {
+		return err
 	}
 	opts := sim.Options{}
 	if c.hist {
@@ -239,7 +230,7 @@ func run(c config) error {
 			fmt.Printf("  memory overflow on node %d: %d bytes\n", mem, ov)
 		}
 	}
-	cp := trace.PracticalCriticalPath(g)
+	cp := runtime.PracticalCriticalPath(g)
 	fmt.Printf("  practical critical path: %d tasks:", len(cp))
 	for i, t := range cp {
 		if i >= 12 {

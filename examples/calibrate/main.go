@@ -32,8 +32,11 @@ func main() {
 	g, verify := dense.CholeskyWithKernels(dense.Params{
 		Tiles: *tiles, TileSize: *tile, Machine: m,
 	}, 42)
-	eng := &runtime.ThreadedEngine{Machine: m, Sched: core.New(core.Defaults()), History: hist}
-	makespan, err := eng.Run(g)
+	eng, err := runtime.NewThreadedEngine(m, core.New(core.Defaults()), runtime.WithHistory(hist))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := eng.Run(g)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -41,7 +44,7 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("calibration run: %d tasks in %.2fms, factorization verified\n",
-		len(g.Tasks), makespan*1e3)
+		len(g.Tasks), res.Makespan*1e3)
 
 	// Persist and reload, as StarPU does across program runs.
 	f, err := os.Create(*out)

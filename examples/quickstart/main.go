@@ -61,16 +61,16 @@ func main() {
 		},
 	})
 
-	eng := &runtime.ThreadedEngine{
-		Machine: platform.CPUOnly(4),
-		Sched:   core.New(core.Defaults()),
+	eng, err := runtime.NewThreadedEngine(platform.CPUOnly(4), core.New(core.Defaults()))
+	if err != nil {
+		log.Fatal(err)
 	}
-	makespan, err := eng.Run(g)
+	res, err := eng.Run(g)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("ran %d tasks on 4 workers in %.3fms\n", len(g.Tasks), makespan*1e3)
+	fmt.Printf("ran %d tasks on 4 workers in %.3fms\n", len(g.Tasks), res.Makespan*1e3)
 	fmt.Printf("total = %d (want %d)\n", *total, chains*steps)
 	if *total != chains*steps {
 		log.Fatal("dependency inference failed")

@@ -13,8 +13,8 @@ import (
 
 	"multiprio/internal/apps/sparseqr"
 	"multiprio/internal/experiments"
+	"multiprio/internal/runtime"
 	"multiprio/internal/sim"
-	"multiprio/internal/trace"
 )
 
 func main() {
@@ -66,7 +66,7 @@ func main() {
 		for _, k := range keys {
 			fmt.Printf("  %-10s on %-4s %6d tasks\n", k.kind, k.arch, count[k])
 		}
-		cp := trace.PracticalCriticalPath(g)
+		cp := runtime.PracticalCriticalPath(g)
 		fmt.Printf("  practical critical path: %d tasks\n", len(cp))
 	}
 }

@@ -184,7 +184,10 @@ func (s *Sched) allocState() *taskState {
 func (s *Sched) Push(t *runtime.Task) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.pushLocked(t)
+}
 
+func (s *Sched) pushLocked(t *runtime.Task) {
 	m := s.env.Machine
 	bestArch, bestDelta, ok := s.env.BestArch(t)
 	if !ok {
@@ -215,7 +218,9 @@ func (s *Sched) Push(t *runtime.Task) {
 	for mem := range m.Mems {
 		memID := platform.MemID(mem)
 		a := m.MemArch(memID)
-		if !t.CanRun(a) || m.NumWorkersOf(a) == 0 {
+		if !t.CanRun(a) || s.env.LiveWorkersOn(memID) == 0 {
+			// No live worker will ever pop this node's heap (either the
+			// node lost all its workers to faults, or it never had any).
 			continue
 		}
 		gain := s.gainWith(t, a, len(archs), bestArch, bestDelta, secondDelta)
@@ -301,6 +306,59 @@ func (s *Sched) Pop(w runtime.WorkerInfo) *runtime.Task {
 
 // TaskDone implements runtime.Scheduler.
 func (s *Sched) TaskDone(t *runtime.Task, w runtime.WorkerInfo) {}
+
+// WorkerDown implements runtime.FaultObserver. Losing a worker on a
+// node with survivors needs no heap surgery: the duplicates in the
+// node's heap stay poppable. When the node loses its *last* worker its
+// heap becomes unreachable, so it is drained here: memberships and the
+// readyCount/best_remaining_work accounting are unwound entry by entry,
+// and tasks that lived only in this heap are re-pushed so they are
+// rescored against the shrunken machine (their bestArch may change,
+// which is why a simple re-insert elsewhere would corrupt the
+// best_remaining_work invariant).
+func (s *Sched) WorkerDown(w runtime.WorkerInfo) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.env.LiveWorkersOn(w.Mem) > 0 {
+		return
+	}
+	mem := w.Mem
+	h := s.heaps[mem]
+	var orphans []*runtime.Task
+	for h.Len() > 0 {
+		id, _, _ := h.Pop()
+		t := s.byID[id]
+		if t == nil {
+			continue // stale duplicate of an already-claimed task
+		}
+		st := t.SchedData.(*taskState)
+		if st.members&(1<<uint(mem)) == 0 {
+			continue
+		}
+		st.members &^= 1 << uint(mem)
+		s.readyCount[mem]--
+		if s.env.Machine.MemArch(mem) == st.bestArch {
+			s.bestRemaining[mem] -= st.bestDelta
+		}
+		if st.members == 0 {
+			delete(s.byID, t.ID)
+			orphans = append(orphans, t)
+		}
+	}
+	// The node is gone for good: zero the counters outright so float
+	// accumulation error cannot leave a phantom horizon behind.
+	s.readyCount[mem] = 0
+	s.bestRemaining[mem] = 0
+	if s.probe != nil {
+		at, seq := s.env.Now(), s.env.Seq()
+		s.probe.Counter(s.readyTrack[mem], at, seq, 0)
+		s.probe.Counter(s.bestRemTrack[mem], at, seq, 0)
+	}
+	// Heap order made the drain deterministic; re-push in that order.
+	for _, t := range orphans {
+		s.pushLocked(t)
+	}
+}
 
 // claim removes the task from every heap. Under the global lock this is
 // equivalent to the paper's lazy duplicate removal (stale duplicates are
@@ -430,7 +488,11 @@ func (s *Sched) popCondition(t *runtime.Task, w runtime.WorkerInfo) (ok bool, co
 	}
 	minHorizon := math.Inf(1)
 	for mem := range s.env.Machine.Mems {
-		if s.env.Machine.MemArch(platform.MemID(mem)) != st.bestArch {
+		memID := platform.MemID(mem)
+		// Dead nodes hold no workers to burn their remaining work down;
+		// with every best-arch node dead the horizon stays +Inf and any
+		// surviving worker may take the task.
+		if s.env.Machine.MemArch(memID) != st.bestArch || s.env.LiveWorkersOn(memID) == 0 {
 			continue
 		}
 		if h := s.bestRemaining[mem]; h < minHorizon {
@@ -515,7 +577,7 @@ func (s *Sched) eligibleArchs(t *runtime.Task) []platform.ArchID {
 	out := s.archBuf[:0]
 	for a := range s.env.Machine.Archs {
 		arch := platform.ArchID(a)
-		if t.CanRun(arch) && s.env.Machine.NumWorkersOf(arch) > 0 {
+		if t.CanRun(arch) && s.env.LiveWorkersOf(arch) > 0 {
 			out = append(out, arch)
 		}
 	}

@@ -10,15 +10,12 @@ import (
 	"io"
 	"sort"
 
-	"multiprio/internal/core"
 	"multiprio/internal/platform"
 	"multiprio/internal/runtime"
-	"multiprio/internal/sched/dmdas"
-	"multiprio/internal/sched/eager"
-	"multiprio/internal/sched/heteroprio"
-	"multiprio/internal/sched/lws"
-	"multiprio/internal/sched/prio"
+	"multiprio/internal/sched/registry"
 	"multiprio/internal/sim"
+
+	_ "multiprio/internal/sched/all" // register every policy
 )
 
 // Scale selects experiment sizing.
@@ -31,47 +28,11 @@ const (
 	Full
 )
 
-// NewScheduler instantiates a policy by name. Valid names:
-// multiprio, multiprio-noevict, dmdas, dmda, dm, heteroprio, lws, eager.
+// NewScheduler instantiates a policy by name through the central
+// registry (internal/sched/registry); run `multiprio-bench -list` or
+// see registry.Names() for the valid set.
 func NewScheduler(name string) (runtime.Scheduler, error) {
-	switch name {
-	case "multiprio":
-		return core.New(core.Defaults()), nil
-	case "multiprio-noevict":
-		cfg := core.Defaults()
-		cfg.DisableEviction = true
-		return core.New(cfg), nil
-	case "multiprio-nocrit":
-		cfg := core.Defaults()
-		cfg.DisableCriticality = true
-		return core.New(cfg), nil
-	case "multiprio-nolocal":
-		cfg := core.Defaults()
-		cfg.DisableLocality = true
-		return core.New(cfg), nil
-	case "multiprio-flatgain":
-		cfg := core.Defaults()
-		cfg.FlatGain = true
-		return core.New(cfg), nil
-	case "dmdas":
-		return dmdas.New(dmdas.DMDAS), nil
-	case "dmda":
-		return dmdas.New(dmdas.DMDA), nil
-	case "dmdar":
-		return dmdas.New(dmdas.DMDAR), nil
-	case "dm":
-		return dmdas.New(dmdas.DM), nil
-	case "heteroprio":
-		return heteroprio.New(), nil
-	case "lws":
-		return lws.New(), nil
-	case "prio":
-		return prio.New(), nil
-	case "eager":
-		return eager.New(), nil
-	default:
-		return nil, fmt.Errorf("experiments: unknown scheduler %q", name)
-	}
+	return registry.New(name, registry.Options{})
 }
 
 // SchedulerNames lists the comparison set of the paper's Section VI.

@@ -7,8 +7,8 @@ import (
 	"multiprio/internal/apps/dense"
 	"multiprio/internal/core"
 	"multiprio/internal/platform"
+	"multiprio/internal/runtime"
 	"multiprio/internal/sim"
-	"multiprio/internal/trace"
 )
 
 // Fig4Variant is one of the two compared configurations.
@@ -55,7 +55,7 @@ func RunFig4(scale Scale, withGantt bool) (*Fig4Result, error) {
 			GPUIdlePct:  res.Trace.ArchIdlePercent(platform.ArchGPU),
 			CPUIdlePct:  res.Trace.ArchIdlePercent(platform.ArchCPU),
 			Evictions:   sched.Evictions,
-			CriticalLen: len(trace.PracticalCriticalPath(g)),
+			CriticalLen: len(runtime.PracticalCriticalPath(g)),
 		}
 		if withGantt {
 			v.Gantt = res.Trace.Gantt(100)

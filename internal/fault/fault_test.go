@@ -1,0 +1,123 @@
+package fault
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"multiprio/internal/perfmodel"
+	"multiprio/internal/platform"
+)
+
+func testMachine(t *testing.T) *platform.Machine {
+	m, err := platform.NewHeteroNode("fault-test", 5, 10, 2, 100, 8*platform.MiB, 5e9, platform.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	m := testMachine(t)
+	spec := Spec{Seed: 42, Horizon: 10, Kills: 3, Slowdowns: 2, TransferFaults: 2, ModelNoise: 0.2}
+	a := Generate(m, spec)
+	b := Generate(m, spec)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same spec produced different plans:\n%+v\n%+v", a, b)
+	}
+	c := Generate(m, Spec{Seed: 43, Horizon: 10, Kills: 3, Slowdowns: 2, TransferFaults: 2})
+	if reflect.DeepEqual(a.Events, c.Events) {
+		t.Fatal("different seeds produced identical plans")
+	}
+}
+
+func TestGenerateKeepsOneWorkerPerArch(t *testing.T) {
+	m := testMachine(t)
+	// Ask for far more kills than the machine can sustain.
+	p := Generate(m, Spec{Seed: 7, Horizon: 5, Kills: len(m.Units) + 10})
+	live := make([]int, len(m.Archs))
+	for _, u := range m.Units {
+		live[u.Arch]++
+	}
+	seen := make(map[platform.UnitID]bool)
+	for _, e := range p.Kills() {
+		if seen[e.Worker] {
+			t.Fatalf("worker %d killed twice", e.Worker)
+		}
+		seen[e.Worker] = true
+		live[m.Units[e.Worker].Arch]--
+	}
+	for a, n := range live {
+		if n < 1 {
+			t.Errorf("arch %s left with %d live workers", m.ArchName(platform.ArchID(a)), n)
+		}
+	}
+}
+
+func TestGenerateEventsInHorizonAndSorted(t *testing.T) {
+	m := testMachine(t)
+	p := Generate(m, Spec{Seed: 9, Horizon: 100, Kills: 2, Slowdowns: 3, TransferFaults: 3})
+	last := math.Inf(-1)
+	for _, e := range p.Events {
+		if e.At < last {
+			t.Fatalf("events not sorted: %g after %g", e.At, last)
+		}
+		last = e.At
+		if e.At < 0 || e.At > 100*0.85+1e-9 {
+			t.Errorf("event at %g outside scatter range", e.At)
+		}
+		if e.Kind == FailTransfer && e.Src == e.Dst {
+			t.Errorf("transfer-failure window on self link %d->%d", e.Src, e.Dst)
+		}
+	}
+}
+
+func TestPlanWindows(t *testing.T) {
+	p := &Plan{Events: []Event{
+		{Kind: SlowWorker, Worker: 1, At: 2, Until: 4, Factor: 3},
+		{Kind: SlowWorker, Worker: 1, At: 3, Until: 5, Factor: 2},
+		{Kind: FailTransfer, Src: 0, Dst: 1, At: 1, Until: 2},
+	}}
+	if f := p.SlowFactorAt(1, 3.5); f != 6 {
+		t.Errorf("overlapping windows factor = %v, want 6", f)
+	}
+	if f := p.SlowFactorAt(1, 4.5); f != 2 {
+		t.Errorf("single window factor = %v, want 2", f)
+	}
+	if f := p.SlowFactorAt(0, 3); f != 1 {
+		t.Errorf("other worker factor = %v, want 1", f)
+	}
+	if !p.TransferFails(0, 1, 1.5) || p.TransferFails(0, 1, 2) || p.TransferFails(1, 0, 1.5) {
+		t.Error("transfer window membership wrong")
+	}
+	if (&Plan{}).RetryCap() != DefaultMaxRetries || (&Plan{MaxRetries: 3}).RetryCap() != 3 {
+		t.Error("retry cap defaulting wrong")
+	}
+	var nilPlan *Plan
+	if !nilPlan.Empty() || nilPlan.SlowFactorAt(0, 0) != 1 || nilPlan.TransferFails(0, 1, 0) {
+		t.Error("nil plan must behave as no faults")
+	}
+}
+
+func TestNoisyEstimatorDeterministicAndBounded(t *testing.T) {
+	n := NoisyEstimator{Base: perfmodel.Oracle{}, Rel: 0.2, Seed: 99}
+	prior := func() (float64, bool) { return 1.0, true }
+	a, ok := n.Estimate("gemm", 0, 960, prior)
+	if !ok {
+		t.Fatal("estimate failed")
+	}
+	b, _ := n.Estimate("gemm", 0, 960, prior)
+	if a != b {
+		t.Fatalf("same triple gave different estimates: %v vs %v", a, b)
+	}
+	c, _ := n.Estimate("gemm", 1, 960, prior)
+	if a == c {
+		t.Error("different arch should (almost surely) perturb differently")
+	}
+	if a <= 0 || math.Abs(a-1) > 0.2*1.7320508075688772+1e-12 {
+		t.Errorf("factor out of bounds: %v", a)
+	}
+	if v, ok := n.Estimate("gemm", 0, 960, nil); ok || v != 0 {
+		t.Error("missing base estimate must stay missing")
+	}
+}

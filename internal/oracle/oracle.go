@@ -45,6 +45,34 @@ type Options struct {
 	// overshoot only on nodes with a non-zero reported overflow; nil
 	// means any overshoot is a violation.
 	OverflowBytes []int64
+	// Faults switches the oracle from exactly-once to
+	// exactly-once-effective validation for fault-injected runs. Nil
+	// (the default) keeps the strict rule: any failed span in the trace
+	// is a violation.
+	Faults *FaultCheck
+}
+
+// FaultCheck configures exactly-once-effective validation: failed
+// attempts are allowed, every task must still have exactly one
+// successful execution, and dependencies are honored by every attempt
+// (a retry may only have started after all predecessors' successful
+// completions).
+type FaultCheck struct {
+	// MaxRetries bounds the failed attempts per task (the fault plan's
+	// retry cap); more is a violation.
+	MaxRetries int
+	// Kills are the kill events the engine reports having applied
+	// (Result.Faults.AppliedKills). No successful span on a killed
+	// worker may end after the kill.
+	Kills []runtime.AppliedKill
+	// Strict additionally requires that nothing at all runs on a
+	// killed worker past the kill instant: failed attempts end exactly
+	// at it and no span starts after it. The simulator guarantees this;
+	// the threaded engine's completion-discard semantics cannot (a
+	// kernel goroutine finishes its function after the kill and only
+	// then learns its completion is discarded), so leave Strict false
+	// for threaded runs.
+	Strict bool
 }
 
 // maxViolations bounds the error report; past this the run is broken
@@ -57,8 +85,11 @@ type checker struct {
 	m    *platform.Machine
 	opts Options
 
-	spanOf map[int64]*trace.Span
-	errs   []error
+	// spanOf maps each task to its successful span; failed attempts
+	// (fault mode only) are collected per task in attemptsOf.
+	spanOf     map[int64]*trace.Span
+	attemptsOf map[int64][]*trace.Span
+	errs       []error
 }
 
 func (c *checker) failf(format string, args ...any) {
@@ -80,11 +111,15 @@ func Check(g *runtime.Graph, tr *trace.Trace, opts Options) error {
 	c.checkSpans()
 	if len(c.errs) == 0 {
 		// The remaining invariants read spans by task; they only make
-		// sense once every task has exactly one well-formed span.
+		// sense once every task has exactly one well-formed successful
+		// span.
 		c.checkDependencies()
 		c.checkCommuteExclusivity()
 		c.checkWorkerSerialization()
 		c.checkMakespan()
+		if opts.Faults != nil {
+			c.checkFaults()
+		}
 		if len(tr.MemEvents) > 0 {
 			c.replayMemory()
 		}
@@ -92,10 +127,14 @@ func Check(g *runtime.Graph, tr *trace.Trace, opts Options) error {
 	return errors.Join(c.errs...)
 }
 
-// checkSpans verifies the exactly-once property and the per-span
-// execution records.
+// checkSpans verifies the exactly-once(-effective) property and the
+// per-span execution records. Failed attempts are tolerated only in
+// fault mode; the execution record (claim, worker, timestamps) is
+// matched against the successful span alone, since a retry overwrote
+// the failed attempts' records.
 func (c *checker) checkSpans() {
 	c.spanOf = make(map[int64]*trace.Span, len(c.tr.Spans))
+	c.attemptsOf = make(map[int64][]*trace.Span)
 	taskByID := make(map[int64]*runtime.Task, len(c.g.Tasks))
 	for _, t := range c.g.Tasks {
 		taskByID[t.ID] = t
@@ -107,11 +146,6 @@ func (c *checker) checkSpans() {
 			c.failf("oracle: span for unknown task %d", s.TaskID)
 			continue
 		}
-		if prev, dup := c.spanOf[s.TaskID]; dup {
-			c.failf("oracle: task %d executed twice (spans on workers %d and %d)", s.TaskID, prev.Worker, s.Worker)
-			continue
-		}
-		c.spanOf[s.TaskID] = s
 		if s.Worker < 0 || int(s.Worker) >= len(c.m.Units) {
 			c.failf("oracle: task %d ran on unknown worker %d", s.TaskID, s.Worker)
 			continue
@@ -128,6 +162,19 @@ func (c *checker) checkSpans() {
 		} else if cost <= 0 {
 			c.failf("oracle: task %d (%s) has non-positive cost %g on arch %s", t.ID, t.Kind, cost, c.m.ArchName(arch))
 		}
+		if s.Failed {
+			if c.opts.Faults == nil {
+				c.failf("oracle: task %d has a failed attempt but fault checking is not enabled", s.TaskID)
+				continue
+			}
+			c.attemptsOf[s.TaskID] = append(c.attemptsOf[s.TaskID], s)
+			continue
+		}
+		if prev, dup := c.spanOf[s.TaskID]; dup {
+			c.failf("oracle: task %d executed successfully twice (spans on workers %d and %d)", s.TaskID, prev.Worker, s.Worker)
+			continue
+		}
+		c.spanOf[s.TaskID] = s
 		if !t.Claimed() {
 			c.failf("oracle: task %d executed without being claimed", t.ID)
 		}
@@ -141,21 +188,25 @@ func (c *checker) checkSpans() {
 	}
 	for _, t := range c.g.Tasks {
 		if _, ok := c.spanOf[t.ID]; !ok {
-			c.failf("oracle: task %d (%s) never executed", t.ID, t.Kind)
+			c.failf("oracle: task %d (%s) never executed successfully", t.ID, t.Kind)
 		}
 	}
 }
 
 // checkDependencies verifies that no task started before every
-// predecessor ended.
+// predecessor's successful completion — for every attempt, including
+// failed ones: an engine may only hand a task (or its retry) to a
+// worker once its dependencies are effectively done.
 func (c *checker) checkDependencies() {
 	for _, t := range c.g.Tasks {
-		s := c.spanOf[t.ID]
+		spans := append(c.attemptsOf[t.ID], c.spanOf[t.ID])
 		for _, p := range c.g.Preds(t) {
 			ps := c.spanOf[p.ID]
-			if ps.End > s.Start+c.opts.Eps {
-				c.failf("oracle: dependency violated: task %d ends at %g after successor %d starts at %g",
-					p.ID, ps.End, t.ID, s.Start)
+			for _, s := range spans {
+				if ps.End > s.Start+c.opts.Eps {
+					c.failf("oracle: dependency violated: task %d ends at %g after successor %d starts at %g",
+						p.ID, ps.End, t.ID, s.Start)
+				}
 			}
 		}
 	}
@@ -174,6 +225,9 @@ func (c *checker) checkCommuteExclusivity() {
 	for _, t := range c.g.Tasks {
 		for _, h := range t.CommuteHandles(nil) {
 			byHandle[h.ID] = append(byHandle[h.ID], c.spanOf[t.ID])
+			// Failed attempts held the commute locks from kernel start
+			// to the abort, so they participate in exclusivity too.
+			byHandle[h.ID] = append(byHandle[h.ID], c.attemptsOf[t.ID]...)
 		}
 	}
 	for h, spans := range byHandle {
@@ -209,16 +263,62 @@ func (c *checker) checkWorkerSerialization() {
 }
 
 // checkMakespan verifies the reported makespan is exactly the latest
-// span end.
+// successful span end (failed attempts do not contribute: the retry
+// that supersedes one always ends later).
 func (c *checker) checkMakespan() {
 	var last float64
 	for i := range c.tr.Spans {
-		if e := c.tr.Spans[i].End; e > last {
-			last = e
+		if s := &c.tr.Spans[i]; !s.Failed && s.End > last {
+			last = s.End
 		}
 	}
 	if diff(last, c.tr.Makespan) > c.opts.Eps {
 		c.failf("oracle: makespan %g does not equal latest span end %g", c.tr.Makespan, last)
+	}
+}
+
+// checkFaults validates the exactly-once-effective extras: the retry
+// budget and the applied kills.
+func (c *checker) checkFaults() {
+	fc := c.opts.Faults
+	if fc.MaxRetries > 0 {
+		for id, attempts := range c.attemptsOf {
+			if len(attempts) > fc.MaxRetries {
+				c.failf("oracle: task %d failed %d times, over the %d retry budget", id, len(attempts), fc.MaxRetries)
+			}
+		}
+	}
+	// First kill instant per worker (a worker dies once, but be robust
+	// to plans listing several).
+	killAt := make(map[platform.UnitID]float64, len(fc.Kills))
+	for _, k := range fc.Kills {
+		if at, ok := killAt[k.Unit]; !ok || k.At < at {
+			killAt[k.Unit] = k.At
+		}
+	}
+	for i := range c.tr.Spans {
+		s := &c.tr.Spans[i]
+		at, killed := killAt[s.Worker]
+		if !killed {
+			continue
+		}
+		if !s.Failed && s.End > at+c.opts.Eps {
+			c.failf("oracle: task %d completed on worker %d at %g, after its kill at %g",
+				s.TaskID, s.Worker, s.End, at)
+		}
+		if fc.Strict {
+			if s.Start > at+c.opts.Eps {
+				c.failf("oracle: task %d started on worker %d at %g, after its kill at %g",
+					s.TaskID, s.Worker, s.Start, at)
+			}
+			if s.End > at+c.opts.Eps && !s.Failed {
+				continue // already reported above
+			}
+			if s.Failed && s.End > at+c.opts.Eps {
+				c.failf("oracle: failed attempt of task %d on worker %d ends at %g, after its kill at %g",
+					s.TaskID, s.Worker, s.End, at)
+			}
+		}
 	}
 }
 

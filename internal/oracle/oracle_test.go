@@ -71,10 +71,11 @@ func TestCheckPassesOnThreadedRun(t *testing.T) {
 	m := platform.CPUOnly(4)
 	g := testGraph()
 	eng := &runtime.ThreadedEngine{Machine: m, Sched: core.New(core.Defaults())}
-	if _, err := eng.Run(g); err != nil {
+	res, err := eng.Run(g)
+	if err != nil {
 		t.Fatal(err)
 	}
-	if err := Check(g, trace.FromGraph(m, g), Options{}); err != nil {
+	if err := Check(g, res.Trace, Options{}); err != nil {
 		t.Fatalf("valid threaded run rejected: %v", err)
 	}
 }
@@ -100,7 +101,7 @@ func TestCheckDetectsTampering(t *testing.T) {
 	expectViolation(t, "lost task", "never executed", func(g *runtime.Graph, res *sim.Result) {
 		res.Trace.Spans = res.Trace.Spans[:len(res.Trace.Spans)-1]
 	})
-	expectViolation(t, "double execution", "executed twice", func(g *runtime.Graph, res *sim.Result) {
+	expectViolation(t, "double execution", "executed successfully twice", func(g *runtime.Graph, res *sim.Result) {
 		res.Trace.Spans = append(res.Trace.Spans, res.Trace.Spans[0])
 	})
 	expectViolation(t, "unknown worker", "unknown worker", func(g *runtime.Graph, res *sim.Result) {

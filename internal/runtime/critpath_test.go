@@ -1,0 +1,39 @@
+package runtime
+
+import "testing"
+
+func TestPracticalCriticalPath(t *testing.T) {
+	g := NewGraph()
+	h := g.NewData("x", 8)
+	a := g.Submit(&Task{Kind: "a", Cost: []float64{1}, Accesses: []Access{{Handle: h, Mode: W}}})
+	b := g.Submit(&Task{Kind: "b", Cost: []float64{1}, Accesses: []Access{{Handle: h, Mode: RW}}})
+	c := g.Submit(&Task{Kind: "c", Cost: []float64{1}}) // independent, fast
+	a.StartAt, a.EndAt = 0, 1
+	b.StartAt, b.EndAt = 1, 3
+	c.StartAt, c.EndAt = 0, 0.5
+
+	path := PracticalCriticalPath(g)
+	if len(path) != 2 || path[0] != a || path[1] != b {
+		t.Errorf("critical path = %v, want [a b]", kinds(path))
+	}
+}
+
+func TestPracticalCriticalPathEmpty(t *testing.T) {
+	g := NewGraph()
+	if p := PracticalCriticalPath(g); p != nil {
+		t.Errorf("critical path of empty graph = %v", p)
+	}
+	// Unexecuted graph (EndAt zero everywhere) also yields nil.
+	g.Submit(&Task{Kind: "a", Cost: []float64{1}})
+	if p := PracticalCriticalPath(g); p != nil {
+		t.Errorf("critical path of unexecuted graph = %v", p)
+	}
+}
+
+func kinds(ts []*Task) []string {
+	out := make([]string, len(ts))
+	for i, t := range ts {
+		out[i] = t.Kind
+	}
+	return out
+}

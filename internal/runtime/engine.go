@@ -1,0 +1,205 @@
+package runtime
+
+import (
+	"multiprio/internal/fault"
+	"multiprio/internal/obs"
+	"multiprio/internal/perfmodel"
+	"multiprio/internal/platform"
+	"multiprio/internal/trace"
+)
+
+// Engine is the unified entry point of both execution engines: the
+// discrete-event simulator (internal/sim) and the threaded engine in
+// this package. Engines are built once with symmetric constructors
+// (sim.NewEngine, NewThreadedEngine) plus functional options, and each
+// Run executes one graph and reports a Result.
+type Engine interface {
+	// Run executes the graph to completion (or failure) and reports the
+	// run. The graph must be freshly built or ResetRun.
+	Run(g *Graph) (*Result, error)
+}
+
+// Result reports one finished run, for either engine. Fields an engine
+// does not produce stay at their zero values (the threaded engine has no
+// transfers or memory events; times are wall-clock there, virtual in the
+// simulator).
+type Result struct {
+	// Makespan is the completion time of the last task, in seconds.
+	Makespan float64
+	// Trace holds every execution span (including failed attempts),
+	// transfer, and — when enabled — memory event of the run.
+	Trace *trace.Trace
+	// OverflowBytes counts allocations accepted beyond a memory node's
+	// capacity (memory pressure indicator), per node. Simulator only.
+	OverflowBytes []int64
+	// Events is the number of discrete events processed (simulator
+	// only).
+	Events int64
+	// Workers reports per-worker execution statistics.
+	Workers []WorkerStat
+	// Faults summarizes injected faults and the recovery work they
+	// caused. All-zero for fault-free runs.
+	Faults FaultStats
+}
+
+// WorkerStat is the per-worker execution summary of a Result.
+type WorkerStat struct {
+	Unit platform.UnitID
+	Name string
+	// Busy is the summed span time (successful and failed attempts).
+	Busy float64
+	// Tasks counts successful task completions.
+	Tasks int
+	// FailedAttempts counts execution attempts aborted by faults.
+	FailedAttempts int
+	// Dead reports whether the worker was killed by the fault plan.
+	Dead bool
+}
+
+// AppliedKill records when a KillWorker event actually took effect. In
+// the simulator this equals the plan time; in the threaded engine it is
+// the wall-clock instant the controller applied it, which the oracle's
+// kill checks need because a kernel observed to finish before the
+// applied instant legitimately commits.
+type AppliedKill struct {
+	Unit platform.UnitID
+	At   float64
+}
+
+// FaultStats summarizes fault injection and recovery over one run.
+type FaultStats struct {
+	// Kills is the number of worker kills applied.
+	Kills int
+	// Slowdowns is the number of slowdown windows that affected at
+	// least one kernel.
+	Slowdowns int
+	// TransferFailures counts transfers that failed and were re-issued.
+	TransferFailures int
+	// Retries counts aborted execution attempts (a kernel was running
+	// or its data was staged when the fault hit) that were rolled back
+	// and re-pushed.
+	Retries int
+	// LostReplicas counts device replicas invalidated because their
+	// memory node lost its last worker.
+	LostReplicas int
+	// AppliedKills records each kill as it took effect.
+	AppliedKills []AppliedKill
+}
+
+// RunConfig collects the engine-agnostic run parameters. Engines read
+// the fields they implement and ignore the rest.
+type RunConfig struct {
+	// Seed drives the engine's own randomness (execution-time noise).
+	Seed int64
+	// Noise is the relative standard deviation of execution times in
+	// the simulator (0 = deterministic kernels).
+	Noise float64
+	// Estimator is what schedulers see as the performance model. Nil
+	// defaults to perfmodel.Oracle.
+	Estimator perfmodel.Estimator
+	// History, when non-nil, receives every observed execution time.
+	History *perfmodel.History
+	// CollectMemEvents records replica state changes in the trace for
+	// the execution oracle's coherence replay (simulator only).
+	CollectMemEvents bool
+	// MaxEvents aborts runaway simulations; 0 means a generous default.
+	MaxEvents int64
+	// Lookahead is the per-worker task pipeline depth of the simulator
+	// (one computing plus lookahead-1 staging slots). Default 2.
+	Lookahead int
+	// Probe receives scheduler decision events and engine counters.
+	Probe obs.Probe
+	// Faults, when non-nil and non-empty, injects the fault plan into
+	// the run and enables recovery (rollback + retry).
+	Faults *fault.Plan
+}
+
+// Option is a functional option for the engine constructors.
+type Option func(*RunConfig)
+
+// WithSeed sets the engine's randomness seed.
+func WithSeed(seed int64) Option { return func(c *RunConfig) { c.Seed = seed } }
+
+// WithNoise sets the simulator's relative execution-time noise.
+func WithNoise(rel float64) Option { return func(c *RunConfig) { c.Noise = rel } }
+
+// WithEstimator sets the performance model the schedulers see.
+func WithEstimator(est perfmodel.Estimator) Option {
+	return func(c *RunConfig) { c.Estimator = est }
+}
+
+// WithHistory attaches a history recording observed execution times.
+func WithHistory(h *perfmodel.History) Option {
+	return func(c *RunConfig) { c.History = h }
+}
+
+// WithMemEvents enables memory-event collection for the oracle replay.
+func WithMemEvents() Option { return func(c *RunConfig) { c.CollectMemEvents = true } }
+
+// WithMaxEvents bounds the simulator's event budget.
+func WithMaxEvents(n int64) Option { return func(c *RunConfig) { c.MaxEvents = n } }
+
+// WithLookahead sets the simulator's per-worker pipeline depth.
+func WithLookahead(n int) Option { return func(c *RunConfig) { c.Lookahead = n } }
+
+// WithProbe attaches an observation probe.
+func WithProbe(p obs.Probe) Option { return func(c *RunConfig) { c.Probe = p } }
+
+// WithFaultPlan injects a fault plan into the run.
+func WithFaultPlan(p *fault.Plan) Option { return func(c *RunConfig) { c.Faults = p } }
+
+// BuildRunConfig applies opts over the zero config. Engine constructors
+// share it.
+func BuildRunConfig(opts []Option) RunConfig {
+	var c RunConfig
+	for _, o := range opts {
+		o(&c)
+	}
+	return c
+}
+
+// TraceFromGraph builds a trace from the execution records the engines
+// leave on the tasks themselves (StartAt/EndAt/RanOn), in task-ID order
+// with no transfer-wait or sequencing information. It remains for
+// callers holding only a graph; engine Results carry richer traces.
+func TraceFromGraph(m *platform.Machine, g *Graph) *trace.Trace {
+	tr := trace.New(m)
+	for _, t := range g.Tasks {
+		tr.AddSpan(trace.Span{
+			Worker: t.RanOn,
+			TaskID: t.ID,
+			Kind:   t.Kind,
+			Start:  t.StartAt,
+			End:    t.EndAt,
+		})
+	}
+	return tr
+}
+
+// WorkerStatsFromTrace derives per-worker statistics from a finished
+// trace; dead/failed attribution comes from the spans' Failed flags and
+// the applied kills.
+func WorkerStatsFromTrace(m *platform.Machine, tr *trace.Trace, kills []AppliedKill) []WorkerStat {
+	stats := make([]WorkerStat, len(m.Units))
+	for i, u := range m.Units {
+		stats[i] = WorkerStat{Unit: platform.UnitID(i), Name: u.Name}
+	}
+	for _, s := range tr.Spans {
+		if int(s.Worker) >= len(stats) || s.Worker < 0 {
+			continue
+		}
+		w := &stats[s.Worker]
+		w.Busy += s.End - s.Start
+		if s.Failed {
+			w.FailedAttempts++
+		} else {
+			w.Tasks++
+		}
+	}
+	for _, k := range kills {
+		if int(k.Unit) < len(stats) {
+			stats[k.Unit].Dead = true
+		}
+	}
+	return stats
+}

@@ -231,6 +231,39 @@ func (g *Graph) SerialTime() float64 {
 	return sum
 }
 
+// PracticalCriticalPath walks the executed DAG backwards from the task
+// that finished last, at each step following the predecessor that
+// finished latest — the chain of tasks that actually determined the
+// makespan (the red-bordered tasks of the paper's Fig. 4). The returned
+// slice is ordered from first to last task.
+func PracticalCriticalPath(g *Graph) []*Task {
+	var last *Task
+	for _, t := range g.Tasks {
+		if t.EndAt > 0 && (last == nil || t.EndAt > last.EndAt) {
+			last = t
+		}
+	}
+	if last == nil {
+		return nil
+	}
+	var path []*Task
+	for t := last; t != nil; {
+		path = append(path, t)
+		var next *Task
+		for _, p := range g.Preds(t) {
+			if next == nil || p.EndAt > next.EndAt {
+				next = p
+			}
+		}
+		t = next
+	}
+	// Reverse in place.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path
+}
+
 // CriticalPathTime returns the length of the longest path through the
 // DAG using each task's best per-arch cost: the ideal makespan with
 // infinite resources.

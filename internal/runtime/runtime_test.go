@@ -340,11 +340,11 @@ func TestThreadedEngineRunsChain(t *testing.T) {
 	g.Submit(mk("c", R))
 
 	eng := &ThreadedEngine{Machine: platform.CPUOnly(4), Sched: &fifoSched{}}
-	makespan, err := eng.Run(g)
+	res, err := eng.Run(g)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if makespan <= 0 {
+	if res.Makespan <= 0 {
 		t.Error("makespan not positive")
 	}
 	if len(order) != 3 || order[0] != "a" || order[1] != "b" || order[2] != "c" {

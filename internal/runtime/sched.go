@@ -2,6 +2,7 @@ package runtime
 
 import (
 	"math"
+	"sync/atomic"
 
 	"multiprio/internal/obs"
 	"multiprio/internal/perfmodel"
@@ -73,6 +74,75 @@ type Env struct {
 	// It is strictly read-only: calling it never advances the
 	// sequencer. Engines without a sequencer return 0.
 	Seq func() int64
+
+	// live is the fault-time worker view, published copy-on-write so
+	// scheduler goroutines read it without locks. It stays nil until
+	// the first MarkWorkerDown: fault-free runs never allocate it and
+	// every Live* helper falls back to the machine's static counts.
+	live atomic.Pointer[liveView]
+}
+
+// liveView is an immutable snapshot of which workers are alive.
+type liveView struct {
+	down   []bool
+	byArch []int
+	byMem  []int
+}
+
+// FaultObserver is implemented by schedulers that keep per-worker or
+// per-memory-node state needing repair when fault injection removes a
+// worker. Engines call WorkerDown after marking the worker dead in the
+// Env, from the event loop (simulator) or the fault controller
+// goroutine (threaded engine) — implementations must take their own
+// locks, exactly as for Push/Pop.
+type FaultObserver interface {
+	WorkerDown(w WorkerInfo)
+}
+
+// MarkWorkerDown removes unit u from the live-worker view. Engines call
+// it when a KillWorker fault applies; schedulers read the view through
+// WorkerAlive/LiveWorkersOf/LiveWorkersOn.
+func (e *Env) MarkWorkerDown(u platform.UnitID) {
+	old := e.live.Load()
+	lv := &liveView{
+		down:   make([]bool, len(e.Machine.Units)),
+		byArch: make([]int, len(e.Machine.Archs)),
+		byMem:  make([]int, len(e.Machine.Mems)),
+	}
+	if old != nil {
+		copy(lv.down, old.down)
+	}
+	lv.down[u] = true
+	for i, unit := range e.Machine.Units {
+		if !lv.down[i] {
+			lv.byArch[unit.Arch]++
+			lv.byMem[unit.Mem]++
+		}
+	}
+	e.live.Store(lv)
+}
+
+// WorkerAlive reports whether unit u is still alive.
+func (e *Env) WorkerAlive(u platform.UnitID) bool {
+	lv := e.live.Load()
+	return lv == nil || !lv.down[u]
+}
+
+// LiveWorkersOf returns the number of live workers of architecture a.
+// Without fault injection it equals Machine.NumWorkersOf.
+func (e *Env) LiveWorkersOf(a platform.ArchID) int {
+	if lv := e.live.Load(); lv != nil {
+		return lv.byArch[a]
+	}
+	return e.Machine.NumWorkersOf(a)
+}
+
+// LiveWorkersOn returns the number of live workers on memory node mem.
+func (e *Env) LiveWorkersOn(mem platform.MemID) int {
+	if lv := e.live.Load(); lv != nil {
+		return lv.byMem[mem]
+	}
+	return len(e.Machine.UnitsOn(mem))
 }
 
 // Delta returns δ(t, a): the estimated execution time of t on
@@ -99,7 +169,7 @@ func (e *Env) BestArch(t *Task) (platform.ArchID, float64, bool) {
 	bestT := math.Inf(1)
 	for a := range e.Machine.Archs {
 		arch := platform.ArchID(a)
-		if e.Machine.NumWorkersOf(arch) == 0 {
+		if e.LiveWorkersOf(arch) == 0 {
 			continue
 		}
 		if d := e.Delta(t, arch); d < bestT {
@@ -117,7 +187,7 @@ func (e *Env) SecondBestArch(t *Task) (platform.ArchID, float64, bool) {
 	bestT, secondT := math.Inf(1), math.Inf(1)
 	for a := range e.Machine.Archs {
 		arch := platform.ArchID(a)
-		if e.Machine.NumWorkersOf(arch) == 0 {
+		if e.LiveWorkersOf(arch) == 0 {
 			continue
 		}
 		d := e.Delta(t, arch)

@@ -209,6 +209,17 @@ func (t *Task) ResetExecState() {
 	t.SchedData = nil
 }
 
+// ResetForRetry rolls the task back to the ready state after a failed
+// execution attempt (fault recovery): the claim and execution stamps
+// clear so a scheduler can hand it out again, while the dependency
+// counter stays at zero — predecessors completed and their results are
+// recoverable from the STF coherence state, so only this task re-runs.
+func (t *Task) ResetForRetry() {
+	t.claimed.Store(false)
+	t.StartAt, t.EndAt = 0, 0
+	t.RanOn = 0
+}
+
 // WorkerInfo describes the worker invoking a scheduler or kernel.
 type WorkerInfo struct {
 	ID   platform.UnitID

@@ -3,12 +3,15 @@ package runtime
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
+	"multiprio/internal/fault"
 	"multiprio/internal/obs"
 	"multiprio/internal/perfmodel"
 	"multiprio/internal/platform"
+	"multiprio/internal/trace"
 )
 
 // ThreadedEngine executes a Graph with real goroutine workers, one per
@@ -16,13 +19,18 @@ import (
 // task runtime" engine: kernels are ordinary Go functions and times are
 // wall-clock. Heterogeneous experiments use the simulator in
 // internal/sim instead; both engines drive the same Scheduler
-// implementations.
+// implementations and both implement the Engine interface.
+//
+// Construct with NewThreadedEngine. The exported fields remain for
+// transparency and tests; engines built as bare literals are validated
+// at Run.
 type ThreadedEngine struct {
 	Machine *platform.Machine
 	Sched   Scheduler
 	// History, when non-nil, receives observed execution times
 	// (normalized by the unit speed factor) so schedulers estimate from
-	// real measurements on subsequent runs.
+	// real measurements on subsequent runs. Only successful attempts
+	// are recorded.
 	History *perfmodel.History
 	// Probe, when non-nil, receives scheduler decision events and
 	// engine progress counters (internal/obs), stamped with wall-clock
@@ -30,17 +38,51 @@ type ThreadedEngine struct {
 	// linearization sequencer, so Seq stamps are 0 and the event order
 	// is only as deterministic as the goroutine schedule.
 	Probe obs.Probe
+	// Faults, when non-nil and non-empty, is the fault plan a
+	// controller goroutine applies during Run: worker kills
+	// (wall-clock timers; the kernel running across a kill has its
+	// completion discarded and the task retries elsewhere) and
+	// slowdown windows (kernels starting inside a window are stretched
+	// by its factor). Transfer failures do not apply — this engine has
+	// no transfer model.
+	Faults *fault.Plan
+}
+
+// NewThreadedEngine builds a threaded engine for machine m driving
+// scheduler s. It returns an error — rather than panicking deep inside
+// Run — when either is nil.
+func NewThreadedEngine(m *platform.Machine, s Scheduler, opts ...Option) (*ThreadedEngine, error) {
+	if m == nil {
+		return nil, errors.New("runtime: NewThreadedEngine: nil machine")
+	}
+	if s == nil {
+		return nil, errors.New("runtime: NewThreadedEngine: nil scheduler")
+	}
+	cfg := BuildRunConfig(opts)
+	return &ThreadedEngine{
+		Machine: m,
+		Sched:   s,
+		History: cfg.History,
+		Probe:   cfg.Probe,
+		Faults:  cfg.Faults,
+	}, nil
 }
 
 // ErrStarved is returned when every worker is idle, no task is running,
-// unfinished tasks remain, and the scheduler still refuses to hand out
-// work: a livelocked policy.
+// no retry is pending, unfinished tasks remain, and the scheduler still
+// refuses to hand out work: a livelocked policy.
 var ErrStarved = errors.New("runtime: scheduler starved all workers with tasks remaining")
 
-// Run executes the graph and returns the wall-clock makespan.
-func (e *ThreadedEngine) Run(g *Graph) (float64, error) {
+// Run executes the graph and reports the run. It implements Engine.
+func (e *ThreadedEngine) Run(g *Graph) (*Result, error) {
+	if e.Machine == nil {
+		return nil, errors.New("runtime: ThreadedEngine.Run: nil machine (use NewThreadedEngine)")
+	}
+	if e.Sched == nil {
+		return nil, errors.New("runtime: ThreadedEngine.Run: nil scheduler (use NewThreadedEngine)")
+	}
 	if err := g.Validate(); err != nil {
-		return 0, err
+		return nil, err
 	}
 	env := NewEnv(e.Machine, g)
 	start := time.Now()
@@ -48,6 +90,13 @@ func (e *ThreadedEngine) Run(g *Graph) (float64, error) {
 	env.Now = now
 	if e.History != nil {
 		env.Model = e.History
+	}
+	plan := e.Faults
+	if plan.Empty() {
+		plan = nil
+	}
+	if plan != nil && plan.ModelNoise > 0 {
+		env.Model = fault.NoisyEstimator{Base: env.Model, Rel: plan.ModelNoise, Seed: plan.NoiseSeed}
 	}
 	env.Probe = e.Probe
 	e.Sched.Init(env)
@@ -58,18 +107,32 @@ func (e *ThreadedEngine) Run(g *Graph) (float64, error) {
 		remaining = len(g.Tasks)
 		running   int
 		failed    error
+		finished  bool
 		// nilStreak counts consecutive failed pops with no intervening
 		// activity (successful pop, completion, or push). When every
-		// worker has failed in a row while nothing runs, the policy is
-		// genuinely starving the engine — a single worker's empty
-		// queue is not enough (per-worker-queue policies like dmdas
-		// map tasks to specific workers).
+		// live worker has failed in a row while nothing runs and no
+		// retry is pending, the policy is genuinely starving the
+		// engine — a single worker's empty queue is not enough
+		// (per-worker-queue policies like dmdas map tasks to specific
+		// workers).
 		nilStreak int
 		// pushed/popped/done feed the engine progress counters; they
 		// are only maintained while a probe is attached and, like the
 		// scheduler state, are guarded by mu.
 		pushed, popped, done int
+
+		// Fault state (guarded by mu).
+		dead           []bool
+		liveWorkers    = len(e.Machine.Units)
+		pendingRetries int
+		attempts       map[int64]int
+		failedSpans    []trace.Span
+		fstats         FaultStats
 	)
+	dead = make([]bool, len(e.Machine.Units))
+	if plan != nil {
+		attempts = make(map[int64]int)
+	}
 	// noteProgress samples submitted/ready/running/completed. Callers
 	// hold mu.
 	noteProgress := func() {
@@ -85,6 +148,36 @@ func (e *ThreadedEngine) Run(g *Graph) (float64, error) {
 	workers := make([]WorkerInfo, len(e.Machine.Units))
 	for i, u := range e.Machine.Units {
 		workers[i] = WorkerInfo{ID: platform.UnitID(i), Arch: u.Arch, Mem: u.Mem}
+	}
+
+	// The fault controller: one timer per kill event. Slowdowns need no
+	// controller — the factor is computed from the plan windows at each
+	// kernel start.
+	var timers []*time.Timer // guarded by mu after the workers start
+	if plan != nil {
+		for _, ev := range plan.Kills() {
+			ev := ev
+			timers = append(timers, time.AfterFunc(time.Duration(ev.At*float64(time.Second)), func() {
+				mu.Lock()
+				if finished || failed != nil || dead[ev.Worker] {
+					mu.Unlock()
+					return
+				}
+				dead[ev.Worker] = true
+				liveWorkers--
+				fstats.Kills++
+				fstats.AppliedKills = append(fstats.AppliedKills, AppliedKill{Unit: ev.Worker, At: now()})
+				// Publishing the live view under mu serializes
+				// concurrent kill timers' copy-on-write updates.
+				env.MarkWorkerDown(ev.Worker)
+				nilStreak = 0
+				mu.Unlock()
+				if fo, ok := e.Sched.(FaultObserver); ok {
+					fo.WorkerDown(workers[ev.Worker])
+				}
+				cond.Broadcast()
+			}))
+		}
 	}
 
 	for _, t := range g.Roots(nil) {
@@ -108,6 +201,10 @@ func (e *ThreadedEngine) Run(g *Graph) (float64, error) {
 						cond.Broadcast()
 						return
 					}
+					if dead[w.ID] {
+						mu.Unlock()
+						return
+					}
 					t = e.Sched.Pop(w)
 					if t != nil {
 						nilStreak = 0
@@ -115,7 +212,7 @@ func (e *ThreadedEngine) Run(g *Graph) (float64, error) {
 						break
 					}
 					nilStreak++
-					if nilStreak >= len(workers) && running == 0 {
+					if nilStreak >= liveWorkers && running == 0 && pendingRetries == 0 {
 						failed = fmt.Errorf("%w (%d tasks left)", ErrStarved, remaining)
 						mu.Unlock()
 						cond.Broadcast()
@@ -127,14 +224,71 @@ func (e *ThreadedEngine) Run(g *Graph) (float64, error) {
 				noteProgress()
 				mu.Unlock()
 
-				e.execute(t, w, now)
+				dur, slowed := e.execute(t, w, now, plan)
 
 				mu.Lock()
+				if slowed {
+					fstats.Slowdowns++
+				}
+				if dead[w.ID] {
+					// The worker was killed while the kernel ran: its
+					// completion is discarded — no successor releases,
+					// no progress — and the task rolls back for a
+					// retry elsewhere, after a backoff proportional to
+					// its attempt count.
+					running--
+					fstats.Retries++
+					failedSpans = append(failedSpans, trace.Span{
+						Worker: w.ID, TaskID: t.ID, Kind: t.Kind,
+						Start: t.StartAt, End: t.EndAt, Failed: true,
+					})
+					attempts[t.ID]++
+					n := attempts[t.ID]
+					if n > plan.RetryCap() {
+						failed = fmt.Errorf("runtime: task %d exceeded %d retries", t.ID, plan.RetryCap())
+						mu.Unlock()
+						cond.Broadcast()
+						return
+					}
+					pendingRetries++
+					noteProgress()
+					delay := time.Duration(float64(n) * plan.RetryBackoff() * float64(time.Second))
+					task := t
+					timers = append(timers, time.AfterFunc(delay, func() {
+						mu.Lock()
+						pendingRetries--
+						if finished || failed != nil {
+							mu.Unlock()
+							return
+						}
+						mu.Unlock()
+						task.ResetForRetry()
+						task.ReadyAt = now()
+						e.Sched.Push(task)
+						mu.Lock()
+						pushed++
+						nilStreak = 0
+						noteProgress()
+						mu.Unlock()
+						cond.Broadcast()
+					}))
+					mu.Unlock()
+					cond.Broadcast()
+					return // the killed worker exits
+				}
 				running--
 				remaining--
 				done++
 				mu.Unlock()
 
+				if e.History != nil {
+					d := dur
+					sf := e.Machine.Units[w.ID].SpeedFactor
+					if sf > 0 {
+						d /= sf
+					}
+					e.History.Record(t.Kind, w.Arch, t.Footprint, d)
+				}
 				released := 0
 				for _, s := range t.Succs() {
 					if s.ReleaseDep() {
@@ -154,31 +308,65 @@ func (e *ThreadedEngine) Run(g *Graph) (float64, error) {
 		}(w)
 	}
 	wg.Wait()
+	mu.Lock()
+	finished = true
+	stale := timers
+	timers = nil
+	mu.Unlock()
+	for _, tm := range stale {
+		tm.Stop()
+	}
 
 	if failed != nil {
-		return 0, failed
+		return nil, failed
 	}
-	return now(), nil
+	if remaining > 0 {
+		return nil, fmt.Errorf("runtime: %d tasks unfinished with no live workers able to run them", remaining)
+	}
+
+	tr := TraceFromGraph(e.Machine, g)
+	// Failed attempts are appended after the successful spans, ordered
+	// by (Start, TaskID) for a stable encoding.
+	sort.Slice(failedSpans, func(i, j int) bool {
+		if failedSpans[i].Start != failedSpans[j].Start {
+			return failedSpans[i].Start < failedSpans[j].Start
+		}
+		return failedSpans[i].TaskID < failedSpans[j].TaskID
+	})
+	for _, s := range failedSpans {
+		tr.AddSpan(s)
+	}
+	return &Result{
+		Makespan: now(),
+		Trace:    tr,
+		Workers:  WorkerStatsFromTrace(e.Machine, tr, fstats.AppliedKills),
+		Faults:   fstats,
+	}, nil
 }
 
-func (e *ThreadedEngine) execute(t *Task, w WorkerInfo, now func() float64) {
+// execute runs the kernel under the task's commute locks and returns
+// the kernel duration (before any injected slowdown stretch) plus
+// whether a slowdown window stretched it.
+func (e *ThreadedEngine) execute(t *Task, w WorkerInfo, now func() float64, plan *fault.Plan) (dur float64, slowed bool) {
 	unlock := t.LockCommute()
 	t.StartAt = now()
 	t.RanOn = w.ID
 	if t.Run != nil {
 		t.Run(w)
 	}
+	dur = now() - t.StartAt
+	if plan != nil {
+		if f := plan.SlowFactorAt(w.ID, t.StartAt); f > 1 {
+			// A slowed worker takes (f-1)×dur longer; the stretch
+			// happens inside the commute region like the kernel itself.
+			time.Sleep(time.Duration((f - 1) * dur * float64(time.Second)))
+			slowed = true
+		}
+	}
 	// The end-of-execution record must close before the commute locks
 	// release: the next commuting updater stamps its StartAt as soon as
 	// it acquires the lock, and exclusivity is judged on these records.
 	t.EndAt = now()
 	unlock()
-	if e.History != nil {
-		dur := t.EndAt - t.StartAt
-		sf := e.Machine.Units[w.ID].SpeedFactor
-		if sf > 0 {
-			dur /= sf
-		}
-		e.History.Record(t.Kind, w.Arch, t.Footprint, dur)
-	}
+	return dur, slowed
 }

@@ -132,6 +132,9 @@ func (s *Sched) Push(t *runtime.Task) {
 	bestECT := math.Inf(1)
 	bestEst := 0.0
 	for w, unit := range m.Units {
+		if !s.env.WorkerAlive(platform.UnitID(w)) {
+			continue // killed by a fault; its queue is never drained
+		}
 		d := s.env.Delta(t, unit.Arch)
 		if math.IsInf(d, 1) {
 			continue
@@ -241,6 +244,21 @@ func (s *Sched) Pop(w runtime.WorkerInfo) *runtime.Task {
 
 // TaskDone implements runtime.Scheduler.
 func (s *Sched) TaskDone(t *runtime.Task, w runtime.WorkerInfo) {}
+
+// WorkerDown implements runtime.FaultObserver. The dequeue-model family
+// maps at push time, so a killed worker strands its whole mapped queue:
+// take it back and re-run the HEFT step for each entry, in queue order,
+// against the surviving workers.
+func (s *Sched) WorkerDown(w runtime.WorkerInfo) {
+	s.mu.Lock()
+	q := s.queues[w.ID]
+	s.queues[w.ID] = nil
+	s.load[w.ID] = 0
+	s.mu.Unlock()
+	for _, e := range q {
+		s.Push(e.t) // Push takes the lock itself
+	}
+}
 
 // dataReady reports whether every read access of t is resident on mem.
 func (s *Sched) dataReady(t *runtime.Task, mem platform.MemID) bool {

@@ -1,0 +1,15 @@
+package dmdas
+
+import (
+	"multiprio/internal/runtime"
+	"multiprio/internal/sched/registry"
+)
+
+func init() {
+	for _, v := range []Variant{DM, DMDA, DMDAS, DMDAR} {
+		v := v
+		registry.Register(v.String(), func(registry.Options) runtime.Scheduler {
+			return New(v)
+		})
+	}
+}

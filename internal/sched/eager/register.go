@@ -1,0 +1,10 @@
+package eager
+
+import (
+	"multiprio/internal/runtime"
+	"multiprio/internal/sched/registry"
+)
+
+func init() {
+	registry.Register("eager", func(registry.Options) runtime.Scheduler { return New() })
+}

@@ -1,0 +1,10 @@
+package heteroprio
+
+import (
+	"multiprio/internal/runtime"
+	"multiprio/internal/sched/registry"
+)
+
+func init() {
+	registry.Register("heteroprio", func(registry.Options) runtime.Scheduler { return New() })
+}

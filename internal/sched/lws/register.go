@@ -1,0 +1,10 @@
+package lws
+
+import (
+	"multiprio/internal/runtime"
+	"multiprio/internal/sched/registry"
+)
+
+func init() {
+	registry.Register("lws", func(registry.Options) runtime.Scheduler { return New() })
+}

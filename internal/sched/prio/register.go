@@ -1,0 +1,10 @@
+package prio
+
+import (
+	"multiprio/internal/runtime"
+	"multiprio/internal/sched/registry"
+)
+
+func init() {
+	registry.Register("prio", func(registry.Options) runtime.Scheduler { return New() })
+}

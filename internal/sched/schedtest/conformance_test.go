@@ -18,7 +18,6 @@ import (
 	"multiprio/internal/sched/lws"
 	"multiprio/internal/sched/prio"
 	"multiprio/internal/sim"
-	"multiprio/internal/trace"
 )
 
 // policies lists every scheduler with a constructor, so each run gets a
@@ -120,10 +119,10 @@ func TestConformanceSimEngine(t *testing.T) {
 
 // TestConformanceThreadedEngine runs every scheduler over every
 // workload on the real goroutine engine (kernels are no-ops; the graphs
-// carry cost models, not code) and validates the execution records
-// through the same oracle via the trace.FromGraph adapter. Wall-clock
-// stamps are monotonic, so dependency and serialization checks hold
-// with zero tolerance; there is no memory-event stream to replay.
+// carry cost models, not code) and validates the execution records in
+// the result's trace through the same oracle. Wall-clock stamps are
+// monotonic, so dependency and serialization checks hold with zero
+// tolerance; there is no memory-event stream to replay.
 func TestConformanceThreadedEngine(t *testing.T) {
 	m := conformanceMachine()
 	for _, w := range conformanceWorkloads(m) {
@@ -132,11 +131,15 @@ func TestConformanceThreadedEngine(t *testing.T) {
 			t.Run(w.name+"/"+pol.name, func(t *testing.T) {
 				t.Parallel()
 				g := w.build()
-				eng := &runtime.ThreadedEngine{Machine: m, Sched: pol.mk()}
-				if _, err := eng.Run(g); err != nil {
+				eng, err := runtime.NewThreadedEngine(m, pol.mk())
+				if err != nil {
+					t.Fatalf("NewThreadedEngine: %v", err)
+				}
+				res, err := eng.Run(g)
+				if err != nil {
 					t.Fatalf("threaded run: %v", err)
 				}
-				if err := oracle.Check(g, trace.FromGraph(m, g), oracle.Options{}); err != nil {
+				if err := oracle.Check(g, res.Trace, oracle.Options{}); err != nil {
 					t.Fatalf("oracle: %v", err)
 				}
 			})

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"multiprio/internal/fault"
 	"multiprio/internal/obs"
 	"multiprio/internal/perfmodel"
 	"multiprio/internal/platform"
@@ -13,7 +14,9 @@ import (
 	"multiprio/internal/trace"
 )
 
-// Options configures one simulated run.
+// Options configures one simulated run. New code should prefer
+// NewEngine with runtime functional options; Options remains as the
+// explicit form the constructors lower into.
 type Options struct {
 	// Seed drives all randomness (execution-time noise).
 	Seed int64
@@ -48,29 +51,70 @@ type Options struct {
 	// sequencer without advancing it, and the canonical trace is
 	// byte-identical with and without one.
 	Probe obs.Probe
+	// Faults, when non-nil and non-empty, injects the fault plan as
+	// discrete events: worker kills abort the running attempt and roll
+	// the task back for a retry, slowdown windows stretch kernels
+	// starting inside them, transfer-failure windows make transfers
+	// fail on arrival and re-issue, and model noise deterministically
+	// mispredicts the schedulers' estimates. Same seed + same plan ⇒
+	// byte-identical canonical trace.
+	Faults *fault.Plan
 }
 
-// Result reports one simulated run.
-type Result struct {
-	Makespan float64
-	Trace    *trace.Trace
-	// OverflowBytes counts allocations accepted beyond a memory node's
-	// capacity (memory pressure indicator), per node.
-	OverflowBytes []int64
-	Events        int64
-}
+// Result reports one simulated run. It is the engine-agnostic
+// runtime.Result: makespan, trace, per-worker statistics, and fault
+// recovery counters.
+type Result = runtime.Result
 
 // ErrDeadlock is returned when the event queue drains with unfinished
 // tasks: every worker idle, nothing in flight, and the scheduler refuses
 // to hand out the remaining tasks.
 var ErrDeadlock = errors.New("sim: deadlock - no events pending but tasks remain")
 
-// Engine is one in-flight simulation. Create per run via Run.
+// Engine is a configured simulator for one machine and scheduler,
+// implementing runtime.Engine. Each Run spins up a fresh simulation.
 type Engine struct {
+	machine *platform.Machine
+	sched   runtime.Scheduler
+	opts    Options
+}
+
+// NewEngine builds a simulator engine for machine m driving scheduler
+// s. It returns an error — symmetric with runtime.NewThreadedEngine —
+// when either is nil.
+func NewEngine(m *platform.Machine, s runtime.Scheduler, opts ...runtime.Option) (*Engine, error) {
+	if m == nil {
+		return nil, errors.New("sim: NewEngine: nil machine")
+	}
+	if s == nil {
+		return nil, errors.New("sim: NewEngine: nil scheduler")
+	}
+	cfg := runtime.BuildRunConfig(opts)
+	return &Engine{machine: m, sched: s, opts: Options{
+		Seed:             cfg.Seed,
+		Noise:            cfg.Noise,
+		Estimator:        cfg.Estimator,
+		History:          cfg.History,
+		CollectMemEvents: cfg.CollectMemEvents,
+		MaxEvents:        cfg.MaxEvents,
+		Pipeline:         cfg.Lookahead,
+		Probe:            cfg.Probe,
+		Faults:           cfg.Faults,
+	}}, nil
+}
+
+// Run implements runtime.Engine.
+func (e *Engine) Run(g *runtime.Graph) (*Result, error) {
+	return Run(e.machine, g, e.sched, e.opts)
+}
+
+// simulation is one in-flight simulated run.
+type simulation struct {
 	machine *platform.Machine
 	graph   *runtime.Graph
 	sched   runtime.Scheduler
 	opts    Options
+	env     *runtime.Env
 
 	now          float64
 	seq          int64
@@ -82,6 +126,12 @@ type Engine struct {
 	left         int
 	events       int64
 	drainPending bool
+	// runErr aborts the event loop (retry budget exhausted).
+	runErr error
+
+	// faults is the fault-injection state; nil on fault-free runs, so
+	// the hot path pays a single nil check per guarded site.
+	faults *faultInjector
 
 	// Commute-mode mutual exclusion in virtual time: handle ID -> held,
 	// plus retry continuations parked on a busy lock.
@@ -101,6 +151,8 @@ type simWorker struct {
 	info        runtime.WorkerInfo
 	unit        platform.Unit
 	wakePending bool
+	// dead marks a worker removed by a KillWorker fault.
+	dead bool
 	// inflight counts tasks popped and not yet finished (computing
 	// plus lookahead slots acquiring data).
 	inflight int
@@ -123,21 +175,33 @@ func Run(m *platform.Machine, g *runtime.Graph, s runtime.Scheduler, opts Option
 	if err != nil {
 		return nil, err
 	}
-	return &Result{
+	return eng.result(), nil
+}
+
+// result assembles the runtime.Result of a finished simulation.
+func (eng *simulation) result() *Result {
+	res := &Result{
 		Makespan:      eng.tr.Makespan,
 		Trace:         eng.tr,
 		OverflowBytes: eng.mm.overflow,
 		Events:        eng.events,
-	}, nil
+	}
+	var kills []runtime.AppliedKill
+	if eng.faults != nil {
+		res.Faults = eng.faults.stats
+		kills = eng.faults.stats.AppliedKills
+	}
+	res.Workers = runtime.WorkerStatsFromTrace(eng.machine, eng.tr, kills)
+	return res
 }
 
 // runEngine executes the simulation and returns the engine itself, so
 // in-package tests can inspect the memory manager's final state.
-func runEngine(m *platform.Machine, g *runtime.Graph, s runtime.Scheduler, opts Options) (*Engine, error) {
+func runEngine(m *platform.Machine, g *runtime.Graph, s runtime.Scheduler, opts Options) (*simulation, error) {
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
-	eng := &Engine{
+	eng := &simulation{
 		machine: m,
 		graph:   g,
 		sched:   s,
@@ -166,6 +230,14 @@ func runEngine(m *platform.Machine, g *runtime.Graph, s runtime.Scheduler, opts 
 	if est == nil {
 		est = perfmodel.Oracle{}
 	}
+	if !opts.Faults.Empty() {
+		eng.faults = newFaultInjector(opts.Faults)
+		if opts.Faults.ModelNoise > 0 {
+			est = fault.NoisyEstimator{
+				Base: est, Rel: opts.Faults.ModelNoise, Seed: opts.Faults.NoiseSeed,
+			}
+		}
+	}
 	env := runtime.NewEnv(m, g)
 	env.Model = est
 	env.Locator = eng.mm
@@ -180,7 +252,16 @@ func runEngine(m *platform.Machine, g *runtime.Graph, s runtime.Scheduler, opts 
 		// installed (one closure allocation) when a probe consumes it.
 		env.Seq = func() int64 { return eng.seq }
 	}
+	eng.env = env
 	s.Init(env)
+	if eng.faults != nil {
+		// Kill events enter the queue up front; window faults
+		// (slowdowns, transfer failures) apply by time lookup.
+		for _, ev := range opts.Faults.Kills() {
+			ev := ev
+			eng.at(ev.At, func() { eng.applyKill(ev.Worker) })
+		}
+	}
 
 	maxEvents := opts.MaxEvents
 	if maxEvents <= 0 {
@@ -199,7 +280,7 @@ func runEngine(m *platform.Machine, g *runtime.Graph, s runtime.Scheduler, opts 
 		eng.wake(platform.UnitID(i))
 	}
 
-	for eng.pq.Len() > 0 && eng.left > 0 {
+	for eng.pq.Len() > 0 && eng.left > 0 && eng.runErr == nil {
 		ev := heap.Pop(&eng.pq).(event)
 		if ev.at < eng.now {
 			return nil, fmt.Errorf("sim: time went backwards (%g < %g)", ev.at, eng.now)
@@ -211,6 +292,9 @@ func runEngine(m *platform.Machine, g *runtime.Graph, s runtime.Scheduler, opts 
 			return nil, fmt.Errorf("sim: exceeded %d events at t=%g with %d tasks left", maxEvents, eng.now, eng.left)
 		}
 	}
+	if eng.runErr != nil {
+		return nil, eng.runErr
+	}
 	if eng.left > 0 {
 		return nil, fmt.Errorf("%w (%d of %d tasks unfinished at t=%g, scheduler %s)",
 			ErrDeadlock, eng.left, len(g.Tasks), eng.now, s.Name())
@@ -221,7 +305,7 @@ func runEngine(m *platform.Machine, g *runtime.Graph, s runtime.Scheduler, opts 
 // noteProgress samples the engine-level progress counters: tasks whose
 // dependencies released so far (submitted to the scheduler), tasks
 // ready (submitted and not yet handed to a worker), and completions.
-func (eng *Engine) noteProgress() {
+func (eng *simulation) noteProgress() {
 	if eng.probe == nil {
 		return
 	}
@@ -231,20 +315,20 @@ func (eng *Engine) noteProgress() {
 }
 
 // at schedules fn at time t (>= now).
-func (eng *Engine) at(t float64, fn func()) {
+func (eng *simulation) at(t float64, fn func()) {
 	if t < eng.now {
 		t = eng.now
 	}
 	heap.Push(&eng.pq, event{at: t, seq: eng.nextSeq(), fn: fn})
 }
 
-func (eng *Engine) nextSeq() int64 {
+func (eng *simulation) nextSeq() int64 {
 	eng.seq++
 	return eng.seq
 }
 
 // pipeline returns the per-worker task pipeline depth.
-func (eng *Engine) pipeline() int {
+func (eng *simulation) pipeline() int {
 	if eng.opts.Pipeline > 0 {
 		return eng.opts.Pipeline
 	}
@@ -252,9 +336,9 @@ func (eng *Engine) pipeline() int {
 }
 
 // wake schedules a pop attempt for worker w unless one is pending.
-func (eng *Engine) wake(w platform.UnitID) {
+func (eng *simulation) wake(w platform.UnitID) {
 	wk := &eng.workers[w]
-	if !wk.canPop(eng.pipeline()) || wk.wakePending {
+	if wk.dead || !wk.canPop(eng.pipeline()) || wk.wakePending {
 		return
 	}
 	wk.wakePending = true
@@ -267,7 +351,7 @@ func (eng *Engine) wake(w platform.UnitID) {
 // wakeAll wakes every worker with free pipeline slots. A single
 // coalesced drain event per batch of completions keeps the event count
 // linear in tasks rather than tasks × workers.
-func (eng *Engine) wakeAll() {
+func (eng *simulation) wakeAll() {
 	if eng.drainPending {
 		return
 	}
@@ -276,7 +360,7 @@ func (eng *Engine) wakeAll() {
 		eng.drainPending = false
 		for i := range eng.workers {
 			wk := &eng.workers[i]
-			if wk.canPop(eng.pipeline()) && !wk.wakePending {
+			if !wk.dead && wk.canPop(eng.pipeline()) && !wk.wakePending {
 				eng.tryPop(platform.UnitID(i))
 			}
 		}
@@ -297,9 +381,9 @@ func (wk *simWorker) canPop(pipeline int) bool {
 // tryPop takes at most one task for worker w and starts acquiring its
 // data immediately, overlapping the current compute as StarPU workers
 // with lookahead do.
-func (eng *Engine) tryPop(w platform.UnitID) {
+func (eng *simulation) tryPop(w platform.UnitID) {
 	wk := &eng.workers[w]
-	if !wk.canPop(eng.pipeline()) {
+	if wk.dead || !wk.canPop(eng.pipeline()) {
 		return
 	}
 	t := eng.sched.Pop(wk.info)
@@ -314,7 +398,12 @@ func (eng *Engine) tryPop(w platform.UnitID) {
 		eng.noteProgress()
 	}
 	wk.inflight++
-	eng.stageTask(t, wk)
+	var a *attempt
+	if eng.faults != nil {
+		a = &attempt{t: t, wk: wk}
+		eng.faults.live[t.ID] = a
+	}
+	eng.stageTask(t, wk, a)
 	if wk.canPop(eng.pipeline()) {
 		eng.wake(w)
 	}
@@ -323,22 +412,38 @@ func (eng *Engine) tryPop(w platform.UnitID) {
 // stageTask first takes the task's commute locks (a commuting update
 // must read its predecessor's result, so the lock gates the data
 // acquisition too), then acquires the data on the worker's memory node
-// and queues the task for the unit.
-func (eng *Engine) stageTask(t *runtime.Task, wk *simWorker) {
-	if !eng.tryLockCommute(t, func() { eng.stageTask(t, wk) }) {
+// and queues the task for the unit. a is the fault-tracking attempt
+// record (nil on fault-free runs).
+func (eng *simulation) stageTask(t *runtime.Task, wk *simWorker, a *attempt) {
+	if a != nil && (a.cancelled || eng.faults.live[t.ID] != a) {
+		// The attempt was aborted while parked on a commute lock (its
+		// worker died); the rollback already happened.
+		return
+	}
+	if !eng.tryLockCommute(t, func() { eng.stageTask(t, wk, a) }) {
 		return // parked until the commute lock frees
 	}
 	popAt := eng.now
 	t.RanOn = wk.info.ID
+	if a != nil {
+		a.locked = true
+		eng.mm.wallocDst = &a.wallocs
+	}
 	eng.mm.acquire(t, wk.info.Mem, func() {
+		if a != nil && a.cancelled {
+			return // aborted while transfers were in flight
+		}
 		wk.staged = append(wk.staged, stagedTask{t: t, popAt: popAt})
 		eng.maybeCompute(wk)
 	})
+	if a != nil {
+		a.pinned = true
+	}
 }
 
 // maybeCompute starts the next staged task when the unit is free.
-func (eng *Engine) maybeCompute(wk *simWorker) {
-	if wk.computing != nil || len(wk.staged) == 0 {
+func (eng *simulation) maybeCompute(wk *simWorker) {
+	if wk.dead || wk.computing != nil || len(wk.staged) == 0 {
 		return
 	}
 	st := wk.staged[0]
@@ -366,7 +471,21 @@ func (eng *Engine) maybeCompute(wk *simWorker) {
 		}
 		dur *= f
 	}
+	var run *runState
+	if eng.faults != nil {
+		if f := eng.faults.plan.SlowFactorAt(wk.info.ID, eng.now); f > 1 {
+			dur *= f
+			eng.faults.stats.Slowdowns++
+		}
+		run = &runState{wait: wait, startSeq: startSeq}
+		if a := eng.faults.live[t.ID]; a != nil {
+			a.run = run
+		}
+	}
 	eng.at(eng.now+dur, func() {
+		if run != nil && run.cancelled {
+			return // the worker was killed mid-kernel; already rolled back
+		}
 		eng.finishTask(t, wk, wait, dur, startSeq)
 	})
 	// A kernel is now running: the lookahead slot may fill.
@@ -375,7 +494,7 @@ func (eng *Engine) maybeCompute(wk *simWorker) {
 
 // tryLockCommute acquires every commute lock of t, or parks the retry
 // continuation on the first busy lock.
-func (eng *Engine) tryLockCommute(t *runtime.Task, retry func()) bool {
+func (eng *simulation) tryLockCommute(t *runtime.Task, retry func()) bool {
 	hs := t.CommuteHandles(nil)
 	if len(hs) == 0 {
 		return true
@@ -393,7 +512,7 @@ func (eng *Engine) tryLockCommute(t *runtime.Task, retry func()) bool {
 }
 
 // unlockCommute releases t's commute locks and retries parked stages.
-func (eng *Engine) unlockCommute(t *runtime.Task) {
+func (eng *simulation) unlockCommute(t *runtime.Task) {
 	hs := t.CommuteHandles(nil)
 	for _, h := range hs {
 		delete(eng.commuteHeld, h.ID)
@@ -408,7 +527,7 @@ func (eng *Engine) unlockCommute(t *runtime.Task) {
 	}
 }
 
-func (eng *Engine) finishTask(t *runtime.Task, wk *simWorker, wait, dur float64, startSeq int64) {
+func (eng *simulation) finishTask(t *runtime.Task, wk *simWorker, wait, dur float64, startSeq int64) {
 	t.EndAt = eng.now
 	endSeq := eng.nextSeq() // kernel completion precedes its write effects
 	// Write effects must land before the commute locks release: a
@@ -428,6 +547,9 @@ func (eng *Engine) finishTask(t *runtime.Task, wk *simWorker, wait, dur float64,
 	})
 	if eng.opts.History != nil && wk.unit.SpeedFactor > 0 {
 		eng.opts.History.Record(t.Kind, wk.info.Arch, t.Footprint, dur/wk.unit.SpeedFactor)
+	}
+	if eng.faults != nil {
+		delete(eng.faults.live, t.ID)
 	}
 	eng.left--
 	for _, s := range t.Succs() {

@@ -1,0 +1,172 @@
+package sim
+
+import (
+	"fmt"
+
+	"multiprio/internal/fault"
+	"multiprio/internal/platform"
+	"multiprio/internal/runtime"
+	"multiprio/internal/trace"
+)
+
+// faultInjector holds the per-run fault state. It exists only when the
+// run has a non-empty fault plan, so fault-free runs pay one nil check
+// at each guarded site and allocate nothing.
+type faultInjector struct {
+	plan *fault.Plan
+	// attempts counts execution attempts per task ID; a task whose
+	// count exceeds the plan's retry cap fails the run.
+	attempts map[int64]int
+	// live tracks the in-flight attempt of each popped-but-unfinished
+	// task, so a kill can abort exactly what its worker holds.
+	live  map[int64]*attempt
+	stats runtime.FaultStats
+}
+
+// attempt is the fault-tracking record of one execution attempt: which
+// worker holds the task and which resources the staging pipeline has
+// taken so far, so an abort releases exactly those.
+type attempt struct {
+	t  *runtime.Task
+	wk *simWorker
+	// pinned: mm.acquire was called — pins are held on wk's memory
+	// node (from the moment acquire returns, transfers may still be in
+	// flight).
+	pinned bool
+	// locked: the task's commute locks are held.
+	locked bool
+	// wallocs are the handles acquire write-allocated; see abortAcquire.
+	wallocs []*runtime.DataHandle
+	// run is non-nil while the kernel occupies the unit.
+	run *runState
+	// cancelled flags the attempt dead so late callbacks (acquire
+	// completions, parked commute retries) become no-ops.
+	cancelled bool
+}
+
+// runState carries the kernel-start bookkeeping of one attempt so a
+// kill can synthesize the failed span and cancel the completion event.
+type runState struct {
+	wait      float64
+	startSeq  int64
+	cancelled bool
+}
+
+func newFaultInjector(plan *fault.Plan) *faultInjector {
+	return &faultInjector{
+		plan:     plan,
+		attempts: make(map[int64]int),
+		live:     make(map[int64]*attempt),
+	}
+}
+
+// liveOn counts live workers on memory node mem.
+func (eng *simulation) liveOn(mem platform.MemID) int {
+	n := 0
+	for i := range eng.workers {
+		if !eng.workers[i].dead && eng.workers[i].info.Mem == mem {
+			n++
+		}
+	}
+	return n
+}
+
+// applyKill removes worker u from the machine at the current simulated
+// time: every attempt the worker holds is aborted and rolled back, the
+// scheduler's view of the machine shrinks, and — when the worker was
+// the last one of its memory node — the node's replicas are lost.
+func (eng *simulation) applyKill(u platform.UnitID) {
+	wk := &eng.workers[u]
+	if wk.dead {
+		return
+	}
+	wk.dead = true
+	fi := eng.faults
+	fi.stats.Kills++
+	fi.stats.AppliedKills = append(fi.stats.AppliedKills, runtime.AppliedKill{Unit: u, At: eng.now})
+	eng.env.MarkWorkerDown(u)
+
+	// Abort every attempt this worker holds — computing, staged,
+	// acquiring, or parked on a commute lock — in task-ID order for a
+	// deterministic rollback (and hence event) sequence.
+	var doomed []*attempt
+	for _, a := range fi.live {
+		if a.wk == wk {
+			doomed = append(doomed, a)
+		}
+	}
+	for i := 1; i < len(doomed); i++ { // insertion sort: a handful of entries
+		for j := i; j > 0 && doomed[j-1].t.ID > doomed[j].t.ID; j-- {
+			doomed[j-1], doomed[j] = doomed[j], doomed[j-1]
+		}
+	}
+	for _, a := range doomed {
+		eng.abortAttempt(a)
+	}
+	wk.staged = nil
+	wk.computing = nil
+
+	// Device loss: the node's memory dies with its last worker.
+	if eng.liveOn(wk.info.Mem) == 0 {
+		fi.stats.LostReplicas += eng.mm.loseNode(wk.info.Mem)
+	}
+	if fo, ok := eng.sched.(runtime.FaultObserver); ok {
+		fo.WorkerDown(wk.info)
+	}
+	// Other workers may now be the best (or only) home for re-pushed
+	// work; re-probe everyone.
+	eng.wakeAll()
+}
+
+// abortAttempt rolls back one attempt: synthesize the failed span if
+// the kernel was running, release pins, write-allocations and commute
+// locks, and schedule the task's retry.
+func (eng *simulation) abortAttempt(a *attempt) {
+	t := a.t
+	wk := a.wk
+	a.cancelled = true
+	if a.run != nil {
+		a.run.cancelled = true // the queued finish event becomes a no-op
+		endSeq := eng.nextSeq()
+		eng.tr.AddSpan(trace.Span{
+			Worker: wk.info.ID, TaskID: t.ID, Kind: t.Kind,
+			Start: t.StartAt, End: eng.now, Wait: a.run.wait,
+			StartSeq: a.run.startSeq, EndSeq: endSeq, Failed: true,
+		})
+	}
+	if a.pinned {
+		eng.mm.abortAcquire(t, wk.info.Mem, a.wallocs)
+	}
+	if a.locked {
+		eng.unlockCommute(t)
+	}
+	wk.inflight--
+	delete(eng.faults.live, t.ID)
+	eng.rollbackTask(t)
+}
+
+// rollbackTask resets a failed attempt's task and re-pushes it to the
+// scheduler after a backoff proportional to the attempt count. The
+// retry cap bounds pathological plans: exceeding it fails the run.
+func (eng *simulation) rollbackTask(t *runtime.Task) {
+	fi := eng.faults
+	fi.stats.Retries++
+	fi.attempts[t.ID]++
+	n := fi.attempts[t.ID]
+	if n > fi.plan.RetryCap() {
+		if eng.runErr == nil {
+			eng.runErr = fmt.Errorf("sim: task %d exceeded %d retries", t.ID, fi.plan.RetryCap())
+		}
+		return
+	}
+	t.ResetForRetry()
+	eng.at(eng.now+float64(n)*fi.plan.RetryBackoff(), func() {
+		t.ReadyAt = eng.now
+		eng.sched.Push(t)
+		if eng.probe != nil {
+			eng.pushed++
+			eng.noteProgress()
+		}
+		eng.wakeAll()
+	})
+}

@@ -53,7 +53,7 @@ type linkState struct {
 // accounting, LRU eviction with dirty write-back, and the transfer
 // engine. It implements runtime.DataLocator for the schedulers.
 type memoryManager struct {
-	eng      *Engine
+	eng      *simulation
 	machine  *platform.Machine
 	states   []*handleState // indexed by handle ID
 	used     []int64        // bytes resident or inbound per node
@@ -66,6 +66,12 @@ type memoryManager struct {
 	// the former per-call map + slice allocations dominated acquire's
 	// cost on large runs).
 	needsScratch []acquireNeed
+
+	// wallocDst, when non-nil for the duration of one acquire, collects
+	// the handles that acquire write-allocated (invalid -> valid without
+	// a fetch). A fault abort must free exactly those replicas: they
+	// hold uninitialized space, not data. Only set on fault runs.
+	wallocDst *[]*runtime.DataHandle
 
 	// Observability (nil probe disables all of it): prebuilt per-node
 	// track names plus the running totals behind the counter tracks.
@@ -86,7 +92,7 @@ type acquireNeed struct {
 	read bool
 }
 
-func newMemoryManager(eng *Engine, g *runtime.Graph) *memoryManager {
+func newMemoryManager(eng *simulation, g *runtime.Graph) *memoryManager {
 	m := eng.machine
 	mm := &memoryManager{
 		eng:      eng,
@@ -184,6 +190,8 @@ func (mm *memoryManager) acquire(t *runtime.Task, mem platform.MemID, done func(
 	// fetch issue order — and through link FIFO queueing, the whole
 	// simulation — nondeterministic across runs of the same seed.
 	// Deduplication is a linear scan over the few accesses a task has.
+	wallocs := mm.wallocDst
+	mm.wallocDst = nil // re-entrancy safety: scoped to this call only
 	needs := mm.needsScratch[:0]
 	for _, a := range t.Accesses {
 		i := -1
@@ -239,6 +247,9 @@ func (mm *memoryManager) acquire(t *runtime.Task, mem platform.MemID, done func(
 				r.state = replValid
 				mm.allocate(mem, n.h)
 				mm.event(trace.MemValid, n.h, mem, st.gen)
+				if wallocs != nil {
+					*wallocs = append(*wallocs, n.h)
+				}
 			} else {
 				// A fetch is in flight (e.g. prefetch): let it land,
 				// the space is already accounted.
@@ -475,10 +486,18 @@ func (mm *memoryManager) transfer(st *handleState, src, dst platform.MemID, isPr
 	dur := mm.machine.TransferTime(src, dst, st.h.Bytes)
 	end := start + dur
 	link.busyUntil = end
+	// A transfer whose occupancy starts inside a failure window of this
+	// link fails: it burns the link time, then drops on arrival and a
+	// fresh transfer is issued. Windows are finite, so retries terminate.
+	failTransfer := false
+	if fi := mm.eng.faults; fi != nil && fi.plan.TransferFails(src, dst, start) {
+		failTransfer = true
+	}
 	if mm.eng.tr != nil {
 		mm.eng.tr.AddTransfer(trace.Transfer{
 			Handle: st.h.ID, Src: src, Dst: dst, Bytes: st.h.Bytes,
 			Start: start, End: end, Prefetch: isPrefetch, Writeback: isWriteback,
+			Failed: failTransfer,
 		})
 	}
 	gen := st.gen
@@ -494,6 +513,14 @@ func (mm *memoryManager) transfer(st *handleState, src, dst platform.MemID, isPr
 		r := &st.repl[dst]
 		if r.state != replFetching {
 			return // replica was torn down while in flight
+		}
+		if failTransfer {
+			// The payload was corrupted in flight: drop it and retry the
+			// same route. Waiters stay parked on the replica; the space
+			// stays accounted (still replFetching).
+			mm.eng.faults.stats.TransferFailures++
+			mm.transfer(st, src, dst, isPrefetch, isWriteback)
+			return
 		}
 		if st.gen != gen {
 			// A write completed elsewhere during the flight: the
@@ -533,6 +560,139 @@ func (mm *memoryManager) transfer(st *handleState, src, dst platform.MemID, isPr
 			w()
 		}
 	})
+}
+
+// abortAcquire undoes a fault-aborted acquire on mem: unpin every
+// distinct handle of t, and free the replicas the acquire itself
+// write-allocated (they hold uninitialized space, never a committed
+// value — leaving them valid would let a later reader see garbage).
+// In-flight fetches started by the acquire are left to land: they
+// become ordinary unpinned replicas, like a prefetch would.
+func (mm *memoryManager) abortAcquire(t *runtime.Task, mem platform.MemID, wallocs []*runtime.DataHandle) {
+	for ai, a := range t.Accesses {
+		first := true
+		for _, prev := range t.Accesses[:ai] {
+			if prev.Handle.ID == a.Handle.ID {
+				first = false
+				break
+			}
+		}
+		if !first {
+			continue
+		}
+		r := &mm.states[a.Handle.ID].repl[mem]
+		r.pin--
+		if r.pin < 0 {
+			panic("sim: negative pin count in fault abort")
+		}
+	}
+	for _, h := range wallocs {
+		st := mm.states[h.ID]
+		r := &st.repl[mem]
+		if r.state == replValid && r.pin == 0 {
+			r.state = replInvalid
+			r.dirty = false
+			mm.used[mem] -= h.Bytes
+			mm.event(trace.MemFree, h, mem, 0)
+			mm.noteUsed(mem)
+		}
+	}
+}
+
+// loseNode handles a memory node whose last worker was killed: valid
+// replicas there are lost to the schedulers and must be re-fetchable
+// from the coherence state. Sole copies are drained to RAM first (the
+// DMA engine survives the cores, as on a real accelerator), then every
+// valid replica is invalidated. In-flight inbound transfers are left
+// to land — a landed payload on a dead node can still serve as a
+// transfer source during the drain. Returns the number of replicas
+// dropped (or doomed to drop once a pending RAM transfer resolves).
+func (mm *memoryManager) loseNode(mem platform.MemID) int {
+	if mem == platform.MemRAM {
+		return 0 // host RAM persists; only device memories are lost
+	}
+	lost := 0
+	list := append([]int64(nil), mm.resident[mem]...)
+	for _, id := range list {
+		st := mm.states[id]
+		r := &st.repl[mem]
+		if r.state != replValid || r.pin > 0 {
+			// Invalid: lazily-compacted leftover. Fetching: inbound DMA,
+			// let it drain. Pinned: unreachable — every attempt on this
+			// node was aborted (and unpinned) before the node is lost.
+			continue
+		}
+		other := false
+		for i := range st.repl {
+			if platform.MemID(i) != mem && st.repl[i].state == replValid {
+				other = true
+				break
+			}
+		}
+		if other {
+			if r.dirty && st.repl[platform.MemRAM].state != replValid {
+				// The surviving copies were fetched from this one and
+				// are clean. One of them must inherit the write-back
+				// responsibility, or the value silently vanishes the
+				// moment the last clean copy is evicted.
+				for i := range st.repl {
+					if platform.MemID(i) != mem && platform.MemID(i) != platform.MemRAM &&
+						st.repl[i].state == replValid {
+						st.repl[i].dirty = true
+						break
+					}
+				}
+			}
+			mm.dropReplica(st, mem)
+			lost++
+			continue
+		}
+		// Sole copy: it must reach RAM before the replica can drop.
+		ram := &st.repl[platform.MemRAM]
+		switch ram.state {
+		case replFetching:
+			// A transfer towards RAM is already in flight, possibly with
+			// a stale payload. Defer the drop until RAM resolves to the
+			// current value (the stale-drop path re-fetches from this
+			// still-valid replica, then our waiter runs).
+			ram.waiters = append(ram.waiters, func() { mm.dropReplica(st, mem) })
+			lost++
+		case replInvalid:
+			ram.state = replFetching
+			mm.used[platform.MemRAM] += st.h.Bytes
+			mm.event(trace.MemAlloc, st.h, platform.MemRAM, 0)
+			mm.resident[platform.MemRAM] = append(mm.resident[platform.MemRAM], id)
+			mm.noteUsed(platform.MemRAM)
+			mm.transfer(st, mem, platform.MemRAM, false, true)
+			// The transfer models a snapshot: the source may drop now,
+			// and readers chase the RAM replica.
+			mm.dropReplica(st, mem)
+			lost++
+		}
+	}
+	return lost
+}
+
+// dropReplica invalidates one valid unpinned replica and releases its
+// accounting. No-op if the replica moved on in the meantime (deferred
+// drops race with normal invalidation).
+func (mm *memoryManager) dropReplica(st *handleState, mem platform.MemID) {
+	r := &st.repl[mem]
+	if r.state != replValid || r.pin > 0 {
+		return
+	}
+	if r.viaPrefetch {
+		r.viaPrefetch = false
+		if mm.probe != nil {
+			mm.prefetchLost++
+			mm.probe.Counter("sim.prefetch.wasted", mm.eng.now, mm.eng.seq, float64(mm.prefetchLost))
+		}
+	}
+	r.state = replInvalid
+	r.dirty = false
+	mm.used[mem] -= st.h.Bytes
+	mm.event(trace.MemFree, st.h, mem, 0)
+	mm.noteUsed(mem)
 }
 
 // residentBytes returns the bytes counted on mem (for tests/reports).

@@ -16,7 +16,7 @@ import (
 //   - used[mem] equals the summed sizes of non-invalid replicas,
 //   - every handle has at least one valid replica (data never lost),
 //   - dirty replicas are sole copies.
-func checkMemoryInvariants(t *testing.T, eng *Engine) {
+func checkMemoryInvariants(t *testing.T, eng *simulation) {
 	t.Helper()
 	mm := eng.mm
 	used := make([]int64, len(mm.used))

@@ -18,14 +18,25 @@ func (tr *Trace) WriteCanonical(w io.Writer) error {
 		return err
 	}
 	for _, s := range tr.Spans {
-		if _, err := fmt.Fprintf(w, "span w%d t%d %s %s %s %s %d %d\n",
-			s.Worker, s.TaskID, s.Kind, f(s.Start), f(s.End), f(s.Wait), s.StartSeq, s.EndSeq); err != nil {
+		// Failed attempts get their own line prefix; fault-free traces
+		// contain none, so their encoding is byte-identical to the
+		// pre-fault format (the golden-file invariant).
+		tag := "span"
+		if s.Failed {
+			tag = "fail"
+		}
+		if _, err := fmt.Fprintf(w, "%s w%d t%d %s %s %s %s %d %d\n",
+			tag, s.Worker, s.TaskID, s.Kind, f(s.Start), f(s.End), f(s.Wait), s.StartSeq, s.EndSeq); err != nil {
 			return err
 		}
 	}
 	for _, x := range tr.Xfers {
-		if _, err := fmt.Fprintf(w, "xfer h%d %d->%d %d %s %s %v %v\n",
-			x.Handle, x.Src, x.Dst, x.Bytes, f(x.Start), f(x.End), x.Prefetch, x.Writeback); err != nil {
+		tag := "xfer"
+		if x.Failed {
+			tag = "xfail"
+		}
+		if _, err := fmt.Fprintf(w, "%s h%d %d->%d %d %s %s %v %v\n",
+			tag, x.Handle, x.Src, x.Dst, x.Bytes, f(x.Start), f(x.End), x.Prefetch, x.Writeback); err != nil {
 			return err
 		}
 	}

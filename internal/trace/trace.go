@@ -10,7 +10,6 @@ import (
 	"strings"
 
 	"multiprio/internal/platform"
-	"multiprio/internal/runtime"
 )
 
 // Span is one busy interval of a resource.
@@ -30,6 +29,10 @@ type Span struct {
 	// (the threaded engine).
 	StartSeq int64
 	EndSeq   int64
+	// Failed marks an execution attempt aborted by fault injection (the
+	// worker was killed mid-kernel, or its completion was discarded).
+	// The task has another, successful span elsewhere in the trace.
+	Failed bool
 }
 
 // Transfer is one data movement between memory nodes.
@@ -42,6 +45,9 @@ type Transfer struct {
 	Prefetch bool
 	// Writeback marks evictions flushing a dirty replica to RAM.
 	Writeback bool
+	// Failed marks a transfer that failed in flight (fault injection);
+	// the payload was discarded on arrival and the engine re-issued it.
+	Failed bool
 }
 
 // MemEventKind classifies memory-residency events.
@@ -103,10 +109,11 @@ func New(m *platform.Machine) *Trace {
 	return &Trace{Machine: m}
 }
 
-// AddSpan records a task execution interval.
+// AddSpan records a task execution interval. Failed attempts never push
+// the makespan: the task's successful retry necessarily ends later.
 func (tr *Trace) AddSpan(s Span) {
 	tr.Spans = append(tr.Spans, s)
-	if s.End > tr.Makespan {
+	if s.End > tr.Makespan && !s.Failed {
 		tr.Makespan = s.End
 	}
 }
@@ -116,26 +123,6 @@ func (tr *Trace) AddTransfer(x Transfer) { tr.Xfers = append(tr.Xfers, x) }
 
 // AddMemEvent records a replica state change.
 func (tr *Trace) AddMemEvent(e MemEvent) { tr.MemEvents = append(tr.MemEvents, e) }
-
-// FromGraph builds a trace from the execution records the engines leave
-// on the tasks themselves (StartAt/EndAt/RanOn). The threaded engine has
-// no event stream of its own; this adapter lets its runs flow through
-// the same execution oracle and reports as simulated ones. Spans are
-// emitted in task-ID order with no transfer-wait or sequencing
-// information.
-func FromGraph(m *platform.Machine, g *runtime.Graph) *Trace {
-	tr := New(m)
-	for _, t := range g.Tasks {
-		tr.AddSpan(Span{
-			Worker: t.RanOn,
-			TaskID: t.ID,
-			Kind:   t.Kind,
-			Start:  t.StartAt,
-			End:    t.EndAt,
-		})
-	}
-	return tr
-}
 
 // BusyTime returns the total busy (executing or transfer-waiting) time of
 // worker w.
@@ -191,8 +178,20 @@ func (tr *Trace) TransferredBytes() (fetch, prefetch, writeback int64) {
 	return
 }
 
-// TaskCount returns the number of executed task spans.
+// TaskCount returns the number of executed task spans, including failed
+// attempts.
 func (tr *Trace) TaskCount() int { return len(tr.Spans) }
+
+// FailedCount returns the number of failed execution attempts recorded.
+func (tr *Trace) FailedCount() int {
+	n := 0
+	for i := range tr.Spans {
+		if tr.Spans[i].Failed {
+			n++
+		}
+	}
+	return n
+}
 
 // Summary renders a compact per-architecture report.
 func (tr *Trace) Summary() string {
@@ -264,35 +263,3 @@ func (tr *Trace) Gantt(width int) string {
 	return b.String()
 }
 
-// PracticalCriticalPath walks the executed DAG backwards from the task
-// that finished last, at each step following the predecessor that
-// finished latest — the chain of tasks that actually determined the
-// makespan (the red-bordered tasks of the paper's Fig. 4). The returned
-// slice is ordered from first to last task.
-func PracticalCriticalPath(g *runtime.Graph) []*runtime.Task {
-	var last *runtime.Task
-	for _, t := range g.Tasks {
-		if t.EndAt > 0 && (last == nil || t.EndAt > last.EndAt) {
-			last = t
-		}
-	}
-	if last == nil {
-		return nil
-	}
-	var path []*runtime.Task
-	for t := last; t != nil; {
-		path = append(path, t)
-		var next *runtime.Task
-		for _, p := range g.Preds(t) {
-			if next == nil || p.EndAt > next.EndAt {
-				next = p
-			}
-		}
-		t = next
-	}
-	// Reverse in place.
-	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
-		path[i], path[j] = path[j], path[i]
-	}
-	return path
-}

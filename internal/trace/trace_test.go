@@ -6,7 +6,6 @@ import (
 	"testing"
 
 	"multiprio/internal/platform"
-	"multiprio/internal/runtime"
 )
 
 func twoWorkerMachine() *platform.Machine {
@@ -75,38 +74,28 @@ func TestSummary(t *testing.T) {
 	}
 }
 
-func TestPracticalCriticalPath(t *testing.T) {
-	g := runtime.NewGraph()
-	h := g.NewData("x", 8)
-	a := g.Submit(&runtime.Task{Kind: "a", Cost: []float64{1}, Accesses: []runtime.Access{{Handle: h, Mode: runtime.W}}})
-	b := g.Submit(&runtime.Task{Kind: "b", Cost: []float64{1}, Accesses: []runtime.Access{{Handle: h, Mode: runtime.RW}}})
-	c := g.Submit(&runtime.Task{Kind: "c", Cost: []float64{1}}) // independent, fast
-	a.StartAt, a.EndAt = 0, 1
-	b.StartAt, b.EndAt = 1, 3
-	c.StartAt, c.EndAt = 0, 0.5
-
-	path := PracticalCriticalPath(g)
-	if len(path) != 2 || path[0] != a || path[1] != b {
-		t.Errorf("critical path = %v, want [a b]", names(path))
+func TestFailedSpansExcludedFromMakespan(t *testing.T) {
+	tr := New(twoWorkerMachine())
+	tr.AddSpan(Span{Worker: 0, TaskID: 1, Kind: "a", Start: 0, End: 9, Failed: true})
+	tr.AddSpan(Span{Worker: 1, TaskID: 1, Kind: "a", Start: 9, End: 10})
+	if tr.Makespan != 10 {
+		t.Errorf("makespan = %v, want 10", tr.Makespan)
+	}
+	if tr.FailedCount() != 1 {
+		t.Errorf("FailedCount = %d, want 1", tr.FailedCount())
 	}
 }
 
-func TestPracticalCriticalPathEmpty(t *testing.T) {
-	g := runtime.NewGraph()
-	if p := PracticalCriticalPath(g); p != nil {
-		t.Errorf("critical path of empty graph = %v", p)
+func TestCanonicalFaultPrefixes(t *testing.T) {
+	tr := New(twoWorkerMachine())
+	tr.AddSpan(Span{Worker: 0, TaskID: 1, Kind: "a", Start: 0, End: 1, Failed: true})
+	tr.AddSpan(Span{Worker: 1, TaskID: 1, Kind: "a", Start: 1, End: 2})
+	tr.AddTransfer(Transfer{Handle: 3, Src: 0, Dst: 1, Bytes: 8, Failed: true})
+	s := string(tr.Canonical())
+	if !strings.Contains(s, "fail w0 t1") || !strings.Contains(s, "span w1 t1") {
+		t.Errorf("failed span not tagged:\n%s", s)
 	}
-	// Unexecuted graph (EndAt zero everywhere) also yields nil.
-	g.Submit(&runtime.Task{Kind: "a", Cost: []float64{1}})
-	if p := PracticalCriticalPath(g); p != nil {
-		t.Errorf("critical path of unexecuted graph = %v", p)
+	if !strings.Contains(s, "xfail h3") {
+		t.Errorf("failed transfer not tagged:\n%s", s)
 	}
-}
-
-func names(ts []*runtime.Task) []string {
-	out := make([]string, len(ts))
-	for i, t := range ts {
-		out[i] = t.Kind
-	}
-	return out
 }
