@@ -18,6 +18,7 @@ import (
 	"sort"
 
 	"multiprio/internal/platform"
+	"multiprio/internal/spec"
 )
 
 // Kind classifies one injected fault event.
@@ -72,6 +73,14 @@ type Event struct {
 const (
 	DefaultMaxRetries = 8
 	DefaultBackoff    = 1e-3
+	// DefaultBackoffCapFactor caps the exponential retry delay at this
+	// multiple of the base backoff (attempt 7 and later all wait the
+	// same), so a task near the retry limit is not parked forever.
+	DefaultBackoffCapFactor = 64
+	// DefaultJitter is the relative jitter spread added on top of the
+	// exponential delay: attempt delays are multiplied by a
+	// deterministic, seed-derived factor in [1, 1+DefaultJitter).
+	DefaultJitter = 0.1
 )
 
 // Plan is a complete fault schedule plus the recovery knobs the engines
@@ -84,19 +93,44 @@ type Plan struct {
 	// run fails. 0 means DefaultMaxRetries.
 	MaxRetries int
 	// Backoff is the base delay before a rolled-back task is re-pushed;
-	// attempt k waits k*Backoff. 0 means DefaultBackoff.
+	// attempt k waits Backoff*2^(k-1) (capped, jittered — see
+	// RetryDelay). 0 means DefaultBackoff.
 	Backoff float64
+	// BackoffCap bounds the exponential retry delay. 0 means
+	// DefaultBackoffCapFactor times the base backoff.
+	BackoffCap float64
+	// Jitter is the relative jitter spread of retry delays: each delay
+	// is multiplied by a deterministic factor in [1, 1+Jitter). 0 means
+	// DefaultJitter; negative disables jitter entirely.
+	Jitter float64
+	// JitterSeed seeds the retry-jitter hash (Generate derives it from
+	// the spec seed; 0 is a valid, still deterministic, seed).
+	JitterSeed uint64
 	// ModelNoise, when > 0, wraps the scheduler's performance model so
 	// every estimate is deterministically mispredicted with this
 	// relative spread (see NoisyEstimator).
 	ModelNoise float64
 	// NoiseSeed seeds the misprediction hash.
 	NoiseSeed uint64
+	// Speculation configures straggler mitigation by speculative task
+	// replication (see internal/spec). Carried on the plan so a study's
+	// slowdown schedule and its mitigation policy travel together and
+	// stay reproducible from one seed.
+	Speculation spec.Policy
 }
 
-// Empty reports whether the plan injects nothing at all.
+// Empty reports whether the plan injects nothing at all and enables no
+// mitigation machinery.
 func (p *Plan) Empty() bool {
-	return p == nil || (len(p.Events) == 0 && p.ModelNoise == 0)
+	return p == nil || (len(p.Events) == 0 && p.ModelNoise == 0 && !p.Speculation.Enabled)
+}
+
+// SpecPolicy returns the plan's speculation policy (zero for nil plans).
+func (p *Plan) SpecPolicy() spec.Policy {
+	if p == nil {
+		return spec.Policy{}
+	}
+	return p.Speculation
 }
 
 // Normalize sorts the events by (At, Kind, Worker, Src, Dst) so that
@@ -134,6 +168,58 @@ func (p *Plan) RetryBackoff() float64 {
 		return DefaultBackoff
 	}
 	return p.Backoff
+}
+
+// retryCapDelay returns the effective ceiling of the exponential retry
+// delay.
+func (p *Plan) retryCapDelay() float64 {
+	if p != nil && p.BackoffCap > 0 {
+		return p.BackoffCap
+	}
+	return DefaultBackoffCapFactor * p.RetryBackoff()
+}
+
+// retryJitter returns the effective relative jitter spread.
+func (p *Plan) retryJitter() float64 {
+	if p == nil || p.Jitter == 0 {
+		return DefaultJitter
+	}
+	if p.Jitter < 0 {
+		return 0
+	}
+	return p.Jitter
+}
+
+// RetryDelay returns the delay before re-pushing task after its n-th
+// rollback (n >= 1): capped exponential backoff,
+// min(Backoff*2^(n-1), cap), scaled by a deterministic jitter factor in
+// [1, 1+Jitter) hashed from (JitterSeed, task, n). Jitter decorrelates
+// the retries of tasks rolled back by the same kill, so the recovered
+// work does not slam the scheduler in one burst — while the same plan
+// still yields the same delays run after run.
+func (p *Plan) RetryDelay(task int64, n int) float64 {
+	if n < 1 {
+		n = 1
+	}
+	d := p.RetryBackoff()
+	cap := p.retryCapDelay()
+	// Walk the doubling instead of shifting so huge n cannot overflow;
+	// the cap is hit within a few dozen steps.
+	for i := 1; i < n && d < cap; i++ {
+		d *= 2
+	}
+	if d > cap {
+		d = cap
+	}
+	if j := p.retryJitter(); j > 0 {
+		var seed uint64
+		if p != nil {
+			seed = p.JitterSeed
+		}
+		r := rng{s: seed ^ uint64(task)*0x9e3779b97f4a7c15 ^ uint64(n)<<32}
+		d *= 1 + j*r.f64()
+	}
+	return d
 }
 
 // Kills returns the kill events of the plan, in schedule order.
@@ -208,6 +294,9 @@ type Spec struct {
 	// ModelNoise is copied into the plan (relative misprediction
 	// spread of the scheduler's performance model).
 	ModelNoise float64
+	// Speculation is copied into the plan (straggler-mitigation policy;
+	// see internal/spec).
+	Speculation spec.Policy
 }
 
 // rng is splitmix64 (Steele et al.), the repository's standard seeding
@@ -238,8 +327,10 @@ func Generate(m *platform.Machine, spec Spec) *Plan {
 	}
 	when := func() float64 { return horizon * (0.05 + 0.8*r.f64()) }
 	p := &Plan{
-		ModelNoise: spec.ModelNoise,
-		NoiseSeed:  spec.Seed ^ 0xa076_1d64_78bd_642f,
+		ModelNoise:  spec.ModelNoise,
+		NoiseSeed:   spec.Seed ^ 0xa076_1d64_78bd_642f,
+		JitterSeed:  spec.Seed ^ 0xe703_7ed1_a0b4_28db,
+		Speculation: spec.Speculation,
 	}
 
 	// Kills: keep at least one live worker per architecture so every
@@ -301,6 +392,21 @@ func Generate(m *platform.Machine, spec Spec) *Plan {
 			})
 		}
 	}
+	p.Events = dropPastHorizon(p.Events, horizon)
 	p.Normalize()
 	return p
+}
+
+// dropPastHorizon removes events scheduled at or after the horizon: an
+// event at exactly t == horizon has, by definition, no work left to
+// disrupt, and engines indexing windows by [At, Until) would otherwise
+// apply it to a kernel starting exactly at the horizon.
+func dropPastHorizon(events []Event, horizon float64) []Event {
+	out := events[:0]
+	for _, e := range events {
+		if e.At < horizon {
+			out = append(out, e)
+		}
+	}
+	return out
 }

@@ -99,6 +99,102 @@ func TestPlanWindows(t *testing.T) {
 	}
 }
 
+func TestRetryDelayExponentialCappedJittered(t *testing.T) {
+	// With jitter disabled the delays are exactly base*2^(n-1), capped.
+	p := &Plan{Backoff: 1e-3, Jitter: -1}
+	for n, want := range map[int]float64{1: 1e-3, 2: 2e-3, 3: 4e-3, 4: 8e-3} {
+		if got := p.RetryDelay(10, n); math.Abs(got-want) > 1e-15 {
+			t.Errorf("RetryDelay(n=%d) = %v, want %v", n, got, want)
+		}
+	}
+	// The default cap is DefaultBackoffCapFactor*base; far-out attempts
+	// all wait the same.
+	capped := p.RetryDelay(10, 50)
+	if want := DefaultBackoffCapFactor * 1e-3; math.Abs(capped-want) > 1e-15 {
+		t.Errorf("capped delay = %v, want %v", capped, want)
+	}
+	if p.RetryDelay(10, 51) != capped {
+		t.Error("delays past the cap must be constant")
+	}
+	// An explicit cap wins.
+	pc := &Plan{Backoff: 1e-3, BackoffCap: 3e-3, Jitter: -1}
+	if got := pc.RetryDelay(10, 4); got != 3e-3 {
+		t.Errorf("explicit cap: delay = %v, want 3e-3", got)
+	}
+
+	// Default jitter: delay in [d, d*(1+DefaultJitter)), deterministic,
+	// and decorrelated across tasks and attempts.
+	pj := &Plan{Backoff: 1e-3, JitterSeed: 99}
+	d1 := pj.RetryDelay(10, 1)
+	if d1 < 1e-3 || d1 >= 1e-3*(1+DefaultJitter) {
+		t.Errorf("jittered delay %v outside [%v, %v)", d1, 1e-3, 1e-3*(1+DefaultJitter))
+	}
+	if pj.RetryDelay(10, 1) != d1 {
+		t.Error("jitter must be deterministic for the same (plan, task, attempt)")
+	}
+	if pj.RetryDelay(11, 1) == d1 && pj.RetryDelay(12, 1) == d1 {
+		t.Error("jitter should vary across tasks")
+	}
+	// n < 1 is clamped to the first attempt.
+	if pj.RetryDelay(10, 0) != pj.RetryDelay(10, 1) {
+		t.Error("n<1 must behave like n=1")
+	}
+	// A nil plan still yields sane, deterministic delays.
+	var nilPlan *Plan
+	if d := nilPlan.RetryDelay(1, 1); d < DefaultBackoff || d >= DefaultBackoff*(1+DefaultJitter) {
+		t.Errorf("nil-plan delay %v out of range", d)
+	}
+}
+
+func TestDropPastHorizonBoundary(t *testing.T) {
+	events := []Event{
+		{Kind: KillWorker, At: 0},
+		{Kind: SlowWorker, At: 9.999999},
+		{Kind: KillWorker, At: 10},      // exactly the horizon: dropped
+		{Kind: FailTransfer, At: 10.25}, // past the horizon: dropped
+	}
+	got := dropPastHorizon(events, 10)
+	if len(got) != 2 || got[0].At != 0 || got[1].At != 9.999999 {
+		t.Fatalf("dropPastHorizon kept %+v, want the two pre-horizon events", got)
+	}
+	if n := len(dropPastHorizon(nil, 10)); n != 0 {
+		t.Fatalf("empty schedule must stay empty, got %d events", n)
+	}
+}
+
+func TestGenerateRespectsHorizonEdge(t *testing.T) {
+	m := testMachine(t)
+	p := Generate(m, Spec{Seed: 3, Horizon: 10, Kills: 3, Slowdowns: 5, TransferFaults: 4})
+	for _, e := range p.Events {
+		if e.At >= 10 {
+			t.Errorf("event at %g not dropped at horizon 10", e.At)
+		}
+	}
+}
+
+func TestPlanSpeculationKnobs(t *testing.T) {
+	var nilPlan *Plan
+	if nilPlan.SpecPolicy().Enabled {
+		t.Fatal("nil plan must have speculation disabled")
+	}
+	p := &Plan{}
+	if !p.Empty() {
+		t.Fatal("zero plan must be empty")
+	}
+	p.Speculation.Enabled = true
+	if p.Empty() {
+		t.Fatal("a plan with speculation enabled is not empty: engines must track attempts")
+	}
+	m := testMachine(t)
+	sp := Spec{Seed: 5, Horizon: 10, Slowdowns: 2}
+	sp.Speculation.Enabled = true
+	sp.Speculation.SlackFactor = 1.5
+	gp := Generate(m, sp)
+	if !gp.Speculation.Enabled || gp.Speculation.SlackFactor != 1.5 {
+		t.Fatalf("Generate dropped speculation knobs: %+v", gp.Speculation)
+	}
+}
+
 func TestNoisyEstimatorDeterministicAndBounded(t *testing.T) {
 	n := NoisyEstimator{Base: perfmodel.Oracle{}, Rel: 0.2, Seed: 99}
 	prior := func() (float64, bool) { return 1.0, true }

@@ -68,28 +68,7 @@ func (l *DecisionLog) WriteCanonical(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	var buf []byte
 	for _, d := range l.ds {
-		buf = buf[:0]
-		buf = append(buf, d.Kind.String()...)
-		buf = append(buf, " t"...)
-		buf = strconv.AppendInt(buf, d.Task, 10)
-		buf = append(buf, " w"...)
-		buf = strconv.AppendInt(buf, int64(d.Worker), 10)
-		buf = append(buf, " m"...)
-		buf = strconv.AppendInt(buf, int64(d.Mem), 10)
-		buf = append(buf, " a"...)
-		buf = strconv.AppendInt(buf, int64(d.Arch), 10)
-		buf = append(buf, " n"...)
-		buf = strconv.AppendInt(buf, int64(d.N), 10)
-		buf = append(buf, ' ')
-		buf = strconv.AppendFloat(buf, d.A, 'g', -1, 64)
-		buf = append(buf, ' ')
-		buf = strconv.AppendFloat(buf, d.B, 'g', -1, 64)
-		buf = append(buf, ' ')
-		buf = strconv.AppendFloat(buf, d.C, 'g', -1, 64)
-		buf = append(buf, " @"...)
-		buf = strconv.AppendFloat(buf, d.At, 'g', -1, 64)
-		buf = append(buf, " s"...)
-		buf = strconv.AppendInt(buf, d.Seq, 10)
+		buf = AppendDecision(buf[:0], d)
 		buf = append(buf, '\n')
 		if _, err := bw.Write(buf); err != nil {
 			return err
@@ -97,6 +76,36 @@ func (l *DecisionLog) WriteCanonical(w io.Writer) error {
 	}
 	return bw.Flush()
 }
+
+// AppendDecision appends the canonical one-line encoding of d (without
+// the trailing newline) to buf and returns the extended slice.
+func AppendDecision(buf []byte, d Decision) []byte {
+	buf = append(buf, d.Kind.String()...)
+	buf = append(buf, " t"...)
+	buf = strconv.AppendInt(buf, d.Task, 10)
+	buf = append(buf, " w"...)
+	buf = strconv.AppendInt(buf, int64(d.Worker), 10)
+	buf = append(buf, " m"...)
+	buf = strconv.AppendInt(buf, int64(d.Mem), 10)
+	buf = append(buf, " a"...)
+	buf = strconv.AppendInt(buf, int64(d.Arch), 10)
+	buf = append(buf, " n"...)
+	buf = strconv.AppendInt(buf, int64(d.N), 10)
+	buf = append(buf, ' ')
+	buf = strconv.AppendFloat(buf, d.A, 'g', -1, 64)
+	buf = append(buf, ' ')
+	buf = strconv.AppendFloat(buf, d.B, 'g', -1, 64)
+	buf = append(buf, ' ')
+	buf = strconv.AppendFloat(buf, d.C, 'g', -1, 64)
+	buf = append(buf, " @"...)
+	buf = strconv.AppendFloat(buf, d.At, 'g', -1, 64)
+	buf = append(buf, " s"...)
+	buf = strconv.AppendInt(buf, d.Seq, 10)
+	return buf
+}
+
+// FormatDecision returns the canonical one-line encoding of d.
+func FormatDecision(d Decision) string { return string(AppendDecision(nil, d)) }
 
 // SpanArgs condenses the log into per-task Chrome trace span arguments,
 // so Perfetto task tooltips explain placement without opening the

@@ -50,6 +50,12 @@ type Options struct {
 	// (the default) keeps the strict rule: any failed span in the trace
 	// is a violation.
 	Faults *FaultCheck
+	// Spec enables validation of speculative straggler mitigation:
+	// cancelled attempts are allowed (and checked), every task still has
+	// exactly one effective completion, and a cancelled attempt never
+	// supersedes it. Nil keeps the strict rule: any cancelled span is a
+	// violation.
+	Spec *SpecCheck
 }
 
 // FaultCheck configures exactly-once-effective validation: failed
@@ -75,6 +81,24 @@ type FaultCheck struct {
 	Strict bool
 }
 
+// SpecCheck configures validation of speculation runs. A trace may then
+// carry Cancelled spans — attempts beaten by first-success-wins
+// arbitration — which participate in every structural invariant
+// (dependencies, commute exclusivity, worker serialization) but never
+// count as the task's execution: the effective span alone carries the
+// published completion, and every cancelled attempt of a task must end
+// at or after it (a loser is only ever cancelled once a winner finished;
+// a cancelled span ending earlier means the engine discarded a
+// completion that should have won).
+type SpecCheck struct {
+	// MaxReplicas bounds the cancelled attempts per task (the
+	// speculation policy's per-task replica cap): a task gains at most
+	// MaxReplicas extra attempts, exactly one attempt wins, so more than
+	// MaxReplicas cancellations means the budget was violated. 0 means
+	// unbounded.
+	MaxReplicas int
+}
+
 // maxViolations bounds the error report; past this the run is broken
 // enough that more detail does not help.
 const maxViolations = 25
@@ -86,10 +110,12 @@ type checker struct {
 	opts Options
 
 	// spanOf maps each task to its successful span; failed attempts
-	// (fault mode only) are collected per task in attemptsOf.
-	spanOf     map[int64]*trace.Span
-	attemptsOf map[int64][]*trace.Span
-	errs       []error
+	// (fault mode only) are collected per task in attemptsOf, cancelled
+	// speculation losers (spec mode only) in cancelledOf.
+	spanOf      map[int64]*trace.Span
+	attemptsOf  map[int64][]*trace.Span
+	cancelledOf map[int64][]*trace.Span
+	errs        []error
 }
 
 func (c *checker) failf(format string, args ...any) {
@@ -120,6 +146,9 @@ func Check(g *runtime.Graph, tr *trace.Trace, opts Options) error {
 		if opts.Faults != nil {
 			c.checkFaults()
 		}
+		if opts.Spec != nil {
+			c.checkSpecs()
+		}
 		if len(tr.MemEvents) > 0 {
 			c.replayMemory()
 		}
@@ -135,6 +164,7 @@ func Check(g *runtime.Graph, tr *trace.Trace, opts Options) error {
 func (c *checker) checkSpans() {
 	c.spanOf = make(map[int64]*trace.Span, len(c.tr.Spans))
 	c.attemptsOf = make(map[int64][]*trace.Span)
+	c.cancelledOf = make(map[int64][]*trace.Span)
 	taskByID := make(map[int64]*runtime.Task, len(c.g.Tasks))
 	for _, t := range c.g.Tasks {
 		taskByID[t.ID] = t
@@ -162,12 +192,24 @@ func (c *checker) checkSpans() {
 		} else if cost <= 0 {
 			c.failf("oracle: task %d (%s) has non-positive cost %g on arch %s", t.ID, t.Kind, cost, c.m.ArchName(arch))
 		}
+		if s.Failed && s.Cancelled {
+			c.failf("oracle: task %d has a span marked both failed and cancelled", s.TaskID)
+			continue
+		}
 		if s.Failed {
 			if c.opts.Faults == nil {
 				c.failf("oracle: task %d has a failed attempt but fault checking is not enabled", s.TaskID)
 				continue
 			}
 			c.attemptsOf[s.TaskID] = append(c.attemptsOf[s.TaskID], s)
+			continue
+		}
+		if s.Cancelled {
+			if c.opts.Spec == nil {
+				c.failf("oracle: task %d has a cancelled attempt but speculation checking is not enabled", s.TaskID)
+				continue
+			}
+			c.cancelledOf[s.TaskID] = append(c.cancelledOf[s.TaskID], s)
 			continue
 		}
 		if prev, dup := c.spanOf[s.TaskID]; dup {
@@ -195,11 +237,12 @@ func (c *checker) checkSpans() {
 
 // checkDependencies verifies that no task started before every
 // predecessor's successful completion — for every attempt, including
-// failed ones: an engine may only hand a task (or its retry) to a
-// worker once its dependencies are effectively done.
+// failed and cancelled ones: an engine may only hand a task (or its
+// retry or replica) to a worker once its dependencies are effectively
+// done.
 func (c *checker) checkDependencies() {
 	for _, t := range c.g.Tasks {
-		spans := append(c.attemptsOf[t.ID], c.spanOf[t.ID])
+		spans := append(append(c.attemptsOf[t.ID], c.cancelledOf[t.ID]...), c.spanOf[t.ID])
 		for _, p := range c.g.Preds(t) {
 			ps := c.spanOf[p.ID]
 			for _, s := range spans {
@@ -225,9 +268,11 @@ func (c *checker) checkCommuteExclusivity() {
 	for _, t := range c.g.Tasks {
 		for _, h := range t.CommuteHandles(nil) {
 			byHandle[h.ID] = append(byHandle[h.ID], c.spanOf[t.ID])
-			// Failed attempts held the commute locks from kernel start
-			// to the abort, so they participate in exclusivity too.
+			// Failed and cancelled attempts held the commute locks from
+			// kernel start to the abort/cancellation, so they
+			// participate in exclusivity too.
 			byHandle[h.ID] = append(byHandle[h.ID], c.attemptsOf[t.ID]...)
+			byHandle[h.ID] = append(byHandle[h.ID], c.cancelledOf[t.ID]...)
 		}
 	}
 	for h, spans := range byHandle {
@@ -263,12 +308,16 @@ func (c *checker) checkWorkerSerialization() {
 }
 
 // checkMakespan verifies the reported makespan is exactly the latest
-// successful span end (failed attempts do not contribute: the retry
-// that supersedes one always ends later).
+// effective span end. Failed attempts do not contribute (the retry that
+// supersedes one always ends later); neither do cancelled ones in the
+// simulator, where a loser's span is cut at the winner's completion —
+// the threaded engine's losers run to the end of their kernel, so there
+// a cancelled span may outlast the makespan and the engines agree only
+// on the effective reading.
 func (c *checker) checkMakespan() {
 	var last float64
 	for i := range c.tr.Spans {
-		if s := &c.tr.Spans[i]; !s.Failed && s.End > last {
+		if s := &c.tr.Spans[i]; !s.Failed && !s.Cancelled && s.End > last {
 			last = s.End
 		}
 	}
@@ -302,7 +351,7 @@ func (c *checker) checkFaults() {
 		if !killed {
 			continue
 		}
-		if !s.Failed && s.End > at+c.opts.Eps {
+		if !s.Failed && !s.Cancelled && s.End > at+c.opts.Eps {
 			c.failf("oracle: task %d completed on worker %d at %g, after its kill at %g",
 				s.TaskID, s.Worker, s.End, at)
 		}
@@ -317,6 +366,30 @@ func (c *checker) checkFaults() {
 			if s.Failed && s.End > at+c.opts.Eps {
 				c.failf("oracle: failed attempt of task %d on worker %d ends at %g, after its kill at %g",
 					s.TaskID, s.Worker, s.End, at)
+			}
+		}
+	}
+}
+
+// checkSpecs validates the speculation extras: the per-task replica
+// budget, and first-success-wins ordering — a cancelled attempt may
+// only end at or after the task's effective completion, because engines
+// cancel losers exactly when a winner finishes (simulator) or discard
+// their later completions (threaded). A cancelled span ending strictly
+// earlier means an attempt that finished first was discarded anyway,
+// i.e. the arbitration was forged.
+func (c *checker) checkSpecs() {
+	sc := c.opts.Spec
+	for id, cs := range c.cancelledOf {
+		if sc.MaxReplicas > 0 && len(cs) > sc.MaxReplicas {
+			c.failf("oracle: task %d has %d cancelled attempts, over the %d replica budget",
+				id, len(cs), sc.MaxReplicas)
+		}
+		eff := c.spanOf[id]
+		for _, s := range cs {
+			if s.End < eff.End-c.opts.Eps {
+				c.failf("oracle: cancelled attempt of task %d on worker %d ends at %g, before the effective completion at %g (first-success-wins violated)",
+					id, s.Worker, s.End, eff.End)
 			}
 		}
 	}

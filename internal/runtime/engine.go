@@ -1,10 +1,14 @@
 package runtime
 
 import (
+	"io"
+	"time"
+
 	"multiprio/internal/fault"
 	"multiprio/internal/obs"
 	"multiprio/internal/perfmodel"
 	"multiprio/internal/platform"
+	"multiprio/internal/spec"
 	"multiprio/internal/trace"
 )
 
@@ -40,6 +44,9 @@ type Result struct {
 	// Faults summarizes injected faults and the recovery work they
 	// caused. All-zero for fault-free runs.
 	Faults FaultStats
+	// Spec summarizes speculation activity (straggler replication).
+	// All-zero when the plan's speculation policy is disabled.
+	Spec spec.Stats
 }
 
 // WorkerStat is the per-worker execution summary of a Result.
@@ -52,6 +59,8 @@ type WorkerStat struct {
 	Tasks int
 	// FailedAttempts counts execution attempts aborted by faults.
 	FailedAttempts int
+	// CancelledAttempts counts speculation losers run on this worker.
+	CancelledAttempts int
 	// Dead reports whether the worker was killed by the fault plan.
 	Dead bool
 }
@@ -110,8 +119,13 @@ type RunConfig struct {
 	// Probe receives scheduler decision events and engine counters.
 	Probe obs.Probe
 	// Faults, when non-nil and non-empty, injects the fault plan into
-	// the run and enables recovery (rollback + retry).
+	// the run and enables recovery (rollback + retry). The plan also
+	// carries the speculation policy (straggler replication).
 	Faults *fault.Plan
+	// Watchdog, when its Deadline is set, aborts a wedged run and dumps
+	// diagnostics (decision-log tail, per-worker state) instead of
+	// letting it hang silently.
+	Watchdog Watchdog
 }
 
 // Option is a functional option for the engine constructors.
@@ -147,6 +161,19 @@ func WithProbe(p obs.Probe) Option { return func(c *RunConfig) { c.Probe = p } }
 
 // WithFaultPlan injects a fault plan into the run.
 func WithFaultPlan(p *fault.Plan) Option { return func(c *RunConfig) { c.Faults = p } }
+
+// WithWatchdog arms the progress watchdog: a run still incomplete after
+// the wall-clock deadline is aborted with ErrWatchdog and a diagnostic
+// dump (decision-log tail plus per-worker state) is written to the
+// watchdog output (os.Stderr unless WithWatchdogOutput overrides it).
+func WithWatchdog(deadline time.Duration) Option {
+	return func(c *RunConfig) { c.Watchdog.Deadline = deadline }
+}
+
+// WithWatchdogOutput redirects the watchdog's diagnostic dump.
+func WithWatchdogOutput(w io.Writer) Option {
+	return func(c *RunConfig) { c.Watchdog.Out = w }
+}
 
 // BuildRunConfig applies opts over the zero config. Engine constructors
 // share it.
@@ -190,9 +217,12 @@ func WorkerStatsFromTrace(m *platform.Machine, tr *trace.Trace, kills []AppliedK
 		}
 		w := &stats[s.Worker]
 		w.Busy += s.End - s.Start
-		if s.Failed {
+		switch {
+		case s.Failed:
 			w.FailedAttempts++
-		} else {
+		case s.Cancelled:
+			w.CancelledAttempts++
+		default:
 			w.Tasks++
 		}
 	}

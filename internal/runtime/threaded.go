@@ -11,6 +11,7 @@ import (
 	"multiprio/internal/obs"
 	"multiprio/internal/perfmodel"
 	"multiprio/internal/platform"
+	"multiprio/internal/spec"
 	"multiprio/internal/trace"
 )
 
@@ -44,8 +45,18 @@ type ThreadedEngine struct {
 	// completion discarded and the task retries elsewhere) and
 	// slowdown windows (kernels starting inside a window are stretched
 	// by its factor). Transfer failures do not apply — this engine has
-	// no transfer model.
+	// no transfer model. The plan's Speculation policy enables
+	// straggler mitigation: a monitor goroutine flags attempts running
+	// past slack × expected duration and replicates them through the
+	// normal Push path; goroutines cannot be preempted, so the losing
+	// attempt runs to completion and its completion is discarded —
+	// the same mechanism kill timers use.
 	Faults *fault.Plan
+	// Watchdog, when armed, aborts a run still incomplete after the
+	// wall-clock deadline with ErrWatchdog and dumps diagnostics. The
+	// goroutine of a truly wedged kernel cannot be killed and is
+	// leaked; the dump is the product, the process is presumed doomed.
+	Watchdog Watchdog
 }
 
 // NewThreadedEngine builds a threaded engine for machine m driving
@@ -60,11 +71,12 @@ func NewThreadedEngine(m *platform.Machine, s Scheduler, opts ...Option) (*Threa
 	}
 	cfg := BuildRunConfig(opts)
 	return &ThreadedEngine{
-		Machine: m,
-		Sched:   s,
-		History: cfg.History,
-		Probe:   cfg.Probe,
-		Faults:  cfg.Faults,
+		Machine:  m,
+		Sched:    s,
+		History:  cfg.History,
+		Probe:    cfg.Probe,
+		Faults:   cfg.Faults,
+		Watchdog: cfg.Watchdog,
 	}, nil
 }
 
@@ -72,6 +84,24 @@ func NewThreadedEngine(m *platform.Machine, s Scheduler, opts ...Option) (*Threa
 // no retry is pending, unfinished tasks remain, and the scheduler still
 // refuses to hand out work: a livelocked policy.
 var ErrStarved = errors.New("runtime: scheduler starved all workers with tasks remaining")
+
+// taskRun is one in-flight execution attempt: the monitor judges
+// straggling against it, the watchdog dump lists it, and the completion
+// path carries its private stamps (per-attempt, because speculation
+// runs concurrent attempts of one task which must not race on the
+// shared Task fields; the effective attempt commits them).
+type taskRun struct {
+	t *Task
+	w WorkerInfo
+	// replica marks a speculative replica attempt.
+	replica bool
+	// start is when the attempt was popped (wall seconds since run
+	// start); startAt/endAt bracket the kernel itself.
+	start    float64
+	expected float64
+	startAt  float64
+	endAt    float64
+}
 
 // Run executes the graph and reports the run. It implements Engine.
 func (e *ThreadedEngine) Run(g *Graph) (*Result, error) {
@@ -98,8 +128,22 @@ func (e *ThreadedEngine) Run(g *Graph) (*Result, error) {
 	if plan != nil && plan.ModelNoise > 0 {
 		env.Model = fault.NoisyEstimator{Base: env.Model, Rel: plan.ModelNoise, Seed: plan.NoiseSeed}
 	}
-	env.Probe = e.Probe
+	probe := e.Probe
+	var wdTail *DecisionTail
+	if e.Watchdog.Armed() {
+		wdTail = NewDecisionTail(e.Watchdog.TailLen())
+		probe = WatchdogProbe(e.Probe, wdTail)
+	}
+	env.Probe = probe
 	e.Sched.Init(env)
+
+	var ctl *spec.Controller
+	if plan != nil && plan.SpecPolicy().Enabled {
+		// All controller calls happen under mu; the zero seq matches the
+		// engine's unsequenced probes.
+		ctl = spec.New(plan.SpecPolicy(), probe, now, nil)
+	}
+	trackRuns := ctl != nil || e.Watchdog.Armed()
 
 	var (
 		mu        sync.Mutex
@@ -126,24 +170,33 @@ func (e *ThreadedEngine) Run(g *Graph) (*Result, error) {
 		liveWorkers    = len(e.Machine.Units)
 		pendingRetries int
 		attempts       map[int64]int
-		failedSpans    []trace.Span
+		extraSpans     []trace.Span // failed and cancelled attempts
 		fstats         FaultStats
+
+		// Speculation/watchdog state (guarded by mu): the in-flight
+		// attempts, and per task how many are in flight.
+		runs         map[*taskRun]struct{}
+		liveAttempts map[int64]int
 	)
 	dead = make([]bool, len(e.Machine.Units))
 	if plan != nil {
 		attempts = make(map[int64]int)
 	}
+	if trackRuns {
+		runs = make(map[*taskRun]struct{})
+		liveAttempts = make(map[int64]int)
+	}
 	// noteProgress samples submitted/ready/running/completed. Callers
 	// hold mu.
 	noteProgress := func() {
-		if e.Probe == nil {
+		if probe == nil {
 			return
 		}
 		at := now()
-		e.Probe.Counter("runtime.submitted", at, 0, float64(pushed))
-		e.Probe.Counter("runtime.ready", at, 0, float64(pushed-popped))
-		e.Probe.Counter("runtime.running", at, 0, float64(running))
-		e.Probe.Counter("runtime.completed", at, 0, float64(done))
+		probe.Counter("runtime.submitted", at, 0, float64(pushed))
+		probe.Counter("runtime.ready", at, 0, float64(pushed-popped))
+		probe.Counter("runtime.running", at, 0, float64(running))
+		probe.Counter("runtime.completed", at, 0, float64(done))
 	}
 	workers := make([]WorkerInfo, len(e.Machine.Units))
 	for i, u := range e.Machine.Units {
@@ -195,6 +248,7 @@ func (e *ThreadedEngine) Run(g *Graph) (*Result, error) {
 			for {
 				mu.Lock()
 				var t *Task
+				var ra *taskRun
 				for {
 					if remaining == 0 || failed != nil {
 						mu.Unlock()
@@ -209,6 +263,14 @@ func (e *ThreadedEngine) Run(g *Graph) (*Result, error) {
 					if t != nil {
 						nilStreak = 0
 						popped++
+						if ctl != nil && ctl.Done(t.ID) {
+							// Stale speculative replica: another attempt
+							// completed while this copy sat in the
+							// scheduler's queue. Discard it unrun and
+							// probe again.
+							t = nil
+							continue
+						}
 						break
 					}
 					nilStreak++
@@ -221,27 +283,59 @@ func (e *ThreadedEngine) Run(g *Graph) (*Result, error) {
 					cond.Wait()
 				}
 				running++
+				if trackRuns {
+					ra = &taskRun{t: t, w: w, start: now()}
+					if ctl != nil {
+						ra.replica = liveAttempts[t.ID] > 0
+						ra.expected = e.expectedDur(env, t, w)
+					}
+					runs[ra] = struct{}{}
+					liveAttempts[t.ID]++
+				}
 				noteProgress()
 				mu.Unlock()
 
-				dur, slowed := e.execute(t, w, now, plan)
+				dur, slowed, startAt, endAt := e.execute(t, w, now, plan)
 
 				mu.Lock()
+				if ra != nil {
+					ra.startAt, ra.endAt = startAt, endAt
+					delete(runs, ra)
+					liveAttempts[t.ID]--
+					if liveAttempts[t.ID] == 0 {
+						delete(liveAttempts, t.ID)
+					}
+				}
 				if slowed {
 					fstats.Slowdowns++
+				}
+				if failed != nil {
+					// The run already aborted (watchdog, starvation, retry
+					// budget): discard the completion, it will not be
+					// reported.
+					mu.Unlock()
+					return
 				}
 				if dead[w.ID] {
 					// The worker was killed while the kernel ran: its
 					// completion is discarded — no successor releases,
 					// no progress — and the task rolls back for a
-					// retry elsewhere, after a backoff proportional to
-					// its attempt count.
+					// retry elsewhere (unless a speculative sibling
+					// attempt is carrying it, or it already finished).
 					running--
-					fstats.Retries++
-					failedSpans = append(failedSpans, trace.Span{
+					extraSpans = append(extraSpans, trace.Span{
 						Worker: w.ID, TaskID: t.ID, Kind: t.Kind,
-						Start: t.StartAt, End: t.EndAt, Failed: true,
+						Start: startAt, End: endAt, Failed: true,
 					})
+					if ctl != nil && (ctl.Done(t.ID) || liveAttempts[t.ID] > 0) {
+						// No retry needed: the task completed elsewhere or
+						// a live sibling is still running it.
+						noteProgress()
+						mu.Unlock()
+						cond.Broadcast()
+						return
+					}
+					fstats.Retries++
 					attempts[t.ID]++
 					n := attempts[t.ID]
 					if n > plan.RetryCap() {
@@ -250,9 +344,12 @@ func (e *ThreadedEngine) Run(g *Graph) (*Result, error) {
 						cond.Broadcast()
 						return
 					}
+					if ctl != nil {
+						ctl.Retired(t.ID) // restarting from scratch: budget returns
+					}
 					pendingRetries++
 					noteProgress()
-					delay := time.Duration(float64(n) * plan.RetryBackoff() * float64(time.Second))
+					delay := time.Duration(plan.RetryDelay(t.ID, n) * float64(time.Second))
 					task := t
 					timers = append(timers, time.AfterFunc(delay, func() {
 						mu.Lock()
@@ -276,6 +373,30 @@ func (e *ThreadedEngine) Run(g *Graph) (*Result, error) {
 					cond.Broadcast()
 					return // the killed worker exits
 				}
+				if ctl != nil && !ctl.Effective(t.ID, ra.replica) {
+					// First-success-wins: another attempt of this task
+					// completed first. This one's completion is discarded
+					// — no successor releases, no TaskDone — and its span
+					// is recorded as cancelled. Its writes were to
+					// task-private Go values; nothing published.
+					running--
+					nilStreak = 0
+					extraSpans = append(extraSpans, trace.Span{
+						Worker: w.ID, TaskID: t.ID, Kind: t.Kind,
+						Start: startAt, End: endAt, Cancelled: true,
+					})
+					ctl.CancelAttempt(t.ID, endAt-startAt)
+					noteProgress()
+					mu.Unlock()
+					cond.Broadcast()
+					continue
+				}
+				// Effective completion: commit this attempt's stamps to
+				// the shared task record (under mu — the monitor's
+				// ResetForRetry writes the same fields).
+				t.StartAt = startAt
+				t.EndAt = endAt
+				t.RanOn = w.ID
 				running--
 				remaining--
 				done++
@@ -307,56 +428,218 @@ func (e *ThreadedEngine) Run(g *Graph) (*Result, error) {
 			}
 		}(w)
 	}
-	wg.Wait()
+
+	// The speculation monitor: scan in-flight attempts at the policy
+	// interval, flag stragglers, and push replicas through the normal
+	// scheduler path.
+	monitorDone := make(chan struct{})
+	stopMonitor := make(chan struct{})
+	if ctl != nil {
+		go func() {
+			defer close(monitorDone)
+			tick := time.NewTicker(time.Duration(ctl.Policy().Interval() * float64(time.Second)))
+			defer tick.Stop()
+			for {
+				select {
+				case <-stopMonitor:
+					return
+				case <-tick.C:
+				}
+				var relaunch []*Task
+				mu.Lock()
+				if finished || failed != nil {
+					mu.Unlock()
+					return
+				}
+				at := now()
+				for ra := range runs {
+					if ctl.Done(ra.t.ID) || !ctl.Eligible(ra.expected) ||
+						!ctl.Straggling(at-ra.start, ra.expected) {
+						continue
+					}
+					if !ctl.TryFlag(ra.t.ID) {
+						continue
+					}
+					// Reset under mu: the same fields are committed under
+					// mu by the winning attempt.
+					ra.t.ResetForRetry()
+					relaunch = append(relaunch, ra.t)
+				}
+				mu.Unlock()
+				if len(relaunch) == 0 {
+					continue
+				}
+				for _, t := range relaunch {
+					t.ReadyAt = now()
+					e.Sched.Push(t)
+				}
+				mu.Lock()
+				pushed += len(relaunch)
+				nilStreak = 0
+				noteProgress()
+				mu.Unlock()
+				cond.Broadcast()
+			}
+		}()
+	} else {
+		close(monitorDone)
+	}
+
+	// The watchdog: a wedged kernel cannot be preempted, so completion
+	// is awaited on a channel and the watchdog path abandons the
+	// workers instead of joining them.
+	workersDone := make(chan struct{})
+	go func() { wg.Wait(); close(workersDone) }()
+	wdFired := make(chan struct{})
+	var wdTimer *time.Timer
+	if e.Watchdog.Armed() {
+		wdTimer = time.AfterFunc(e.Watchdog.Deadline, func() {
+			mu.Lock()
+			if finished || failed != nil {
+				mu.Unlock()
+				return
+			}
+			failed = fmt.Errorf("runtime: %w after %v (%d tasks left, %d running, scheduler %s)",
+				ErrWatchdog, e.Watchdog.Deadline, remaining, running, e.Sched.Name())
+			e.dumpWatchdog(wdTail, now(), remaining, running, dead, runs)
+			mu.Unlock()
+			cond.Broadcast()
+			close(wdFired)
+		})
+	}
+
+	aborted := false
+	select {
+	case <-workersDone:
+	case <-wdFired:
+		// Workers stuck inside kernels never exit; abandon them. Their
+		// completion paths see failed != nil and discard themselves.
+		aborted = true
+	}
+	if ctl != nil && !aborted {
+		close(stopMonitor)
+		<-monitorDone
+	}
 	mu.Lock()
 	finished = true
 	stale := timers
 	timers = nil
+	err := failed
 	mu.Unlock()
 	for _, tm := range stale {
 		tm.Stop()
 	}
+	if wdTimer != nil {
+		wdTimer.Stop()
+	}
 
-	if failed != nil {
-		return nil, failed
+	if err != nil {
+		return nil, err
 	}
 	if remaining > 0 {
 		return nil, fmt.Errorf("runtime: %d tasks unfinished with no live workers able to run them", remaining)
 	}
+	if ctl != nil {
+		// Launching a replica clears its task's claim (ResetForRetry) so
+		// a worker could pop the copy. A replica still queued when its
+		// task won stays claimable until the run ends — schedulers panic
+		// on claimed tasks in their queues — so the winner's claim is
+		// re-asserted only now, with every worker joined.
+		for _, t := range g.Tasks {
+			if !t.Claimed() {
+				t.TryClaim()
+			}
+		}
+	}
 
 	tr := TraceFromGraph(e.Machine, g)
-	// Failed attempts are appended after the successful spans, ordered
-	// by (Start, TaskID) for a stable encoding.
-	sort.Slice(failedSpans, func(i, j int) bool {
-		if failedSpans[i].Start != failedSpans[j].Start {
-			return failedSpans[i].Start < failedSpans[j].Start
+	// Failed and cancelled attempts are appended after the successful
+	// spans, ordered by (Start, TaskID) for a stable encoding.
+	sort.Slice(extraSpans, func(i, j int) bool {
+		if extraSpans[i].Start != extraSpans[j].Start {
+			return extraSpans[i].Start < extraSpans[j].Start
 		}
-		return failedSpans[i].TaskID < failedSpans[j].TaskID
+		return extraSpans[i].TaskID < extraSpans[j].TaskID
 	})
-	for _, s := range failedSpans {
+	for _, s := range extraSpans {
 		tr.AddSpan(s)
 	}
-	return &Result{
+	res := &Result{
 		Makespan: now(),
 		Trace:    tr,
 		Workers:  WorkerStatsFromTrace(e.Machine, tr, fstats.AppliedKills),
 		Faults:   fstats,
-	}, nil
+	}
+	if ctl != nil {
+		res.Spec = ctl.Stats
+	}
+	return res, nil
+}
+
+// expectedDur returns the scheduler-visible expected duration of t on
+// worker w: the model's per-arch estimate scaled by the unit's speed
+// factor. Tasks without a finite model estimate return 0 and are never
+// speculated (their "expected" is unknowable).
+func (e *ThreadedEngine) expectedDur(env *Env, t *Task, w WorkerInfo) float64 {
+	d := env.Delta(t, w.Arch)
+	if d <= 0 || d != d || d > 1e18 { // NaN / +Inf guard without importing math
+		return 0
+	}
+	return d * e.Machine.Units[w.ID].SpeedFactor
+}
+
+// dumpWatchdog writes the wedged-run diagnostics. Caller holds mu.
+func (e *ThreadedEngine) dumpWatchdog(tail *DecisionTail, at float64, remaining, running int, dead []bool, runs map[*taskRun]struct{}) {
+	w := e.Watchdog.Output()
+	fmt.Fprintf(w, "runtime watchdog: no completion after %v wall time\n", e.Watchdog.Deadline)
+	fmt.Fprintf(w, "  t=%.3fs tasks-left=%d running=%d scheduler=%s\n", at, remaining, running, e.Sched.Name())
+	current := make(map[platform.UnitID]*taskRun)
+	for ra := range runs {
+		current[ra.w.ID] = ra
+	}
+	for i, u := range e.Machine.Units {
+		state := "idle"
+		switch {
+		case dead[i]:
+			state = "dead"
+		case current[platform.UnitID(i)] != nil:
+			ra := current[platform.UnitID(i)]
+			state = fmt.Sprintf("running task %d (%s) for %.3fs", ra.t.ID, ra.t.Kind, at-ra.start)
+		}
+		fmt.Fprintf(w, "  worker %-12s %s\n", u.Name, state)
+	}
+	fmt.Fprintln(w, "  decision tail (oldest first):")
+	if tail != nil {
+		tail.Dump(indentWriter{w})
+	}
+}
+
+// indentWriter prefixes each Write with two spaces (the tail writer
+// emits one line per call).
+type indentWriter struct{ w interface{ Write([]byte) (int, error) } }
+
+func (i indentWriter) Write(p []byte) (int, error) {
+	if _, err := i.w.Write([]byte("  ")); err != nil {
+		return 0, err
+	}
+	return i.w.Write(p)
 }
 
 // execute runs the kernel under the task's commute locks and returns
-// the kernel duration (before any injected slowdown stretch) plus
-// whether a slowdown window stretched it.
-func (e *ThreadedEngine) execute(t *Task, w WorkerInfo, now func() float64, plan *fault.Plan) (dur float64, slowed bool) {
+// the kernel duration (before any injected slowdown stretch), whether a
+// slowdown window stretched it, and the attempt's private start/end
+// stamps. The stamps stay off the shared Task fields because
+// speculation runs concurrent attempts of one task; the effective
+// attempt commits them under the run lock.
+func (e *ThreadedEngine) execute(t *Task, w WorkerInfo, now func() float64, plan *fault.Plan) (dur float64, slowed bool, startAt, endAt float64) {
 	unlock := t.LockCommute()
-	t.StartAt = now()
-	t.RanOn = w.ID
+	startAt = now()
 	if t.Run != nil {
 		t.Run(w)
 	}
-	dur = now() - t.StartAt
+	dur = now() - startAt
 	if plan != nil {
-		if f := plan.SlowFactorAt(w.ID, t.StartAt); f > 1 {
+		if f := plan.SlowFactorAt(w.ID, startAt); f > 1 {
 			// A slowed worker takes (f-1)×dur longer; the stretch
 			// happens inside the commute region like the kernel itself.
 			time.Sleep(time.Duration((f - 1) * dur * float64(time.Second)))
@@ -366,7 +649,7 @@ func (e *ThreadedEngine) execute(t *Task, w WorkerInfo, now func() float64, plan
 	// The end-of-execution record must close before the commute locks
 	// release: the next commuting updater stamps its StartAt as soon as
 	// it acquires the lock, and exclusivity is judged on these records.
-	t.EndAt = now()
+	endAt = now()
 	unlock()
-	return dur, slowed
+	return dur, slowed, startAt, endAt
 }

@@ -5,12 +5,14 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"time"
 
 	"multiprio/internal/fault"
 	"multiprio/internal/obs"
 	"multiprio/internal/perfmodel"
 	"multiprio/internal/platform"
 	"multiprio/internal/runtime"
+	"multiprio/internal/spec"
 	"multiprio/internal/trace"
 )
 
@@ -57,8 +59,17 @@ type Options struct {
 	// starting inside them, transfer-failure windows make transfers
 	// fail on arrival and re-issue, and model noise deterministically
 	// mispredicts the schedulers' estimates. Same seed + same plan ⇒
-	// byte-identical canonical trace.
+	// byte-identical canonical trace. The plan's Speculation policy
+	// enables straggler mitigation: attempts running past
+	// slack × expected duration are replicated through the normal Push
+	// path, first success wins, losers are cancelled.
 	Faults *fault.Plan
+	// Watchdog, when armed, aborts a run whose event loop is still
+	// going after the wall-clock deadline and dumps diagnostics
+	// (decision tail, per-worker state). Virtual time cannot hang, but
+	// the event loop can spin (a pathological scheduler or plan), and
+	// wall time is what CI kills on.
+	Watchdog runtime.Watchdog
 }
 
 // Result reports one simulated run. It is the engine-agnostic
@@ -100,6 +111,7 @@ func NewEngine(m *platform.Machine, s runtime.Scheduler, opts ...runtime.Option)
 		Pipeline:         cfg.Lookahead,
 		Probe:            cfg.Probe,
 		Faults:           cfg.Faults,
+		Watchdog:         cfg.Watchdog,
 	}}, nil
 }
 
@@ -132,6 +144,14 @@ type simulation struct {
 	// faults is the fault-injection state; nil on fault-free runs, so
 	// the hot path pays a single nil check per guarded site.
 	faults *faultInjector
+	// specCtl is the speculation controller; nil unless the fault
+	// plan's Speculation policy is enabled (implies faults != nil: the
+	// controller rides on the attempt records).
+	specCtl *spec.Controller
+	// wdTail is the watchdog's decision ring buffer (nil when the
+	// watchdog is unarmed).
+	wdTail  *runtime.DecisionTail
+	wdStart time.Time
 
 	// Commute-mode mutual exclusion in virtual time: handle ID -> held,
 	// plus retry continuations parked on a busy lock.
@@ -167,6 +187,10 @@ type simWorker struct {
 type stagedTask struct {
 	t     *runtime.Task
 	popAt float64
+	// a is the fault-tracking attempt record (nil on fault-free runs);
+	// it binds the staged entry to the exact attempt so concurrent
+	// speculation attempts of one task never share kernel bookkeeping.
+	a *attempt
 }
 
 // Run simulates the execution of g on m under scheduler s.
@@ -190,6 +214,19 @@ func (eng *simulation) result() *Result {
 	if eng.faults != nil {
 		res.Faults = eng.faults.stats
 		kills = eng.faults.stats.AppliedKills
+	}
+	if eng.specCtl != nil {
+		res.Spec = eng.specCtl.Stats
+		// Launching a replica clears its task's claim (ResetForRetry) so
+		// a worker could pop the copy. A replica still queued when its
+		// task won stays claimable until the run ends — schedulers panic
+		// on claimed tasks in their queues — so the winner's claim is
+		// re-asserted only now, with every pop done.
+		for _, t := range eng.graph.Tasks {
+			if !t.Claimed() {
+				t.TryClaim()
+			}
+		}
 	}
 	res.Workers = runtime.WorkerStatsFromTrace(eng.machine, eng.tr, kills)
 	return res
@@ -215,6 +252,17 @@ func runEngine(m *platform.Machine, g *runtime.Graph, s runtime.Scheduler, opts 
 		pq: make(eventQueue, 0, 8*len(m.Units)+64),
 	}
 	eng.probe = opts.Probe
+	if opts.Watchdog.Armed() {
+		// The watchdog keeps a decision tail for its dump. Probes are
+		// behavior-neutral by construction (they read the sequencer
+		// without advancing it), so arming the watchdog never perturbs
+		// the trace.
+		eng.wdTail = runtime.NewDecisionTail(opts.Watchdog.TailLen())
+		eng.probe = runtime.WatchdogProbe(opts.Probe, eng.wdTail)
+		opts.Probe = eng.probe
+		eng.opts.Probe = eng.probe
+		eng.wdStart = time.Now()
+	}
 	eng.mm = newMemoryManager(eng, g)
 	eng.commuteHeld = make(map[int64]bool)
 	eng.commuteWaiters = make(map[int64][]func())
@@ -236,6 +284,11 @@ func runEngine(m *platform.Machine, g *runtime.Graph, s runtime.Scheduler, opts 
 			est = fault.NoisyEstimator{
 				Base: est, Rel: opts.Faults.ModelNoise, Seed: opts.Faults.NoiseSeed,
 			}
+		}
+		if pol := opts.Faults.SpecPolicy(); pol.Enabled {
+			eng.specCtl = spec.New(pol, eng.probe,
+				func() float64 { return eng.now },
+				func() int64 { return eng.seq })
 		}
 	}
 	env := runtime.NewEnv(m, g)
@@ -280,6 +333,9 @@ func runEngine(m *platform.Machine, g *runtime.Graph, s runtime.Scheduler, opts 
 		eng.wake(platform.UnitID(i))
 	}
 
+	// wdMask throttles the watchdog's wall-clock reads to one per 256
+	// events; virtual time is free, syscalls are not.
+	const wdMask = 255
 	for eng.pq.Len() > 0 && eng.left > 0 && eng.runErr == nil {
 		ev := heap.Pop(&eng.pq).(event)
 		if ev.at < eng.now {
@@ -290,6 +346,12 @@ func runEngine(m *platform.Machine, g *runtime.Graph, s runtime.Scheduler, opts 
 		eng.events++
 		if eng.events > maxEvents {
 			return nil, fmt.Errorf("sim: exceeded %d events at t=%g with %d tasks left", maxEvents, eng.now, eng.left)
+		}
+		if opts.Watchdog.Armed() && eng.events&wdMask == 0 &&
+			time.Since(eng.wdStart) > opts.Watchdog.Deadline {
+			eng.dumpWatchdog(opts.Watchdog)
+			return nil, fmt.Errorf("sim: %w after %v (%d events, %d tasks left, t=%g, scheduler %s)",
+				runtime.ErrWatchdog, opts.Watchdog.Deadline, eng.events, eng.left, eng.now, s.Name())
 		}
 	}
 	if eng.runErr != nil {
@@ -397,11 +459,18 @@ func (eng *simulation) tryPop(w platform.UnitID) {
 		eng.popped++
 		eng.noteProgress()
 	}
+	if eng.specCtl != nil && eng.specCtl.Done(t.ID) {
+		// Stale speculative replica: another attempt completed while
+		// this copy sat in the scheduler's queue. Discard it unrun (the
+		// winner already committed and released the successors) and
+		// probe again for real work.
+		eng.wake(w)
+		return
+	}
 	wk.inflight++
 	var a *attempt
 	if eng.faults != nil {
-		a = &attempt{t: t, wk: wk}
-		eng.faults.live[t.ID] = a
+		a = eng.faults.newAttempt(t, wk)
 	}
 	eng.stageTask(t, wk, a)
 	if wk.canPop(eng.pipeline()) {
@@ -415,16 +484,23 @@ func (eng *simulation) tryPop(w platform.UnitID) {
 // and queues the task for the unit. a is the fault-tracking attempt
 // record (nil on fault-free runs).
 func (eng *simulation) stageTask(t *runtime.Task, wk *simWorker, a *attempt) {
-	if a != nil && (a.cancelled || eng.faults.live[t.ID] != a) {
+	if a != nil && (a.cancelled || !eng.faults.isLive(a)) {
 		// The attempt was aborted while parked on a commute lock (its
-		// worker died); the rollback already happened.
+		// worker died, or a speculation sibling won); the rollback
+		// already happened.
 		return
 	}
 	if !eng.tryLockCommute(t, func() { eng.stageTask(t, wk, a) }) {
 		return // parked until the commute lock frees
 	}
 	popAt := eng.now
-	t.RanOn = wk.info.ID
+	if a == nil {
+		// Fault-free runs have exactly one attempt; stamp the placement
+		// immediately. Attempt-tracked runs defer the commit to the
+		// winning attempt's finishTask, because concurrent speculation
+		// attempts must not race on the shared task fields.
+		t.RanOn = wk.info.ID
+	}
 	if a != nil {
 		a.locked = true
 		eng.mm.wallocDst = &a.wallocs
@@ -433,7 +509,7 @@ func (eng *simulation) stageTask(t *runtime.Task, wk *simWorker, a *attempt) {
 		if a != nil && a.cancelled {
 			return // aborted while transfers were in flight
 		}
-		wk.staged = append(wk.staged, stagedTask{t: t, popAt: popAt})
+		wk.staged = append(wk.staged, stagedTask{t: t, popAt: popAt, a: a})
 		eng.maybeCompute(wk)
 	})
 	if a != nil {
@@ -457,7 +533,9 @@ func (eng *simulation) maybeCompute(wk *simWorker) {
 		blockedSince = wk.freeAt
 	}
 	wait := eng.now - blockedSince
-	t.StartAt = blockedSince
+	if st.a == nil {
+		t.StartAt = blockedSince
+	}
 	startSeq := eng.nextSeq() // linearization point of the kernel start
 	base, ok := t.BaseCost(wk.info.Arch)
 	if !ok {
@@ -477,17 +555,25 @@ func (eng *simulation) maybeCompute(wk *simWorker) {
 			dur *= f
 			eng.faults.stats.Slowdowns++
 		}
-		run = &runState{wait: wait, startSeq: startSeq}
-		if a := eng.faults.live[t.ID]; a != nil {
-			a.run = run
+		run = &runState{startAt: blockedSince, wait: wait, startSeq: startSeq}
+		if st.a != nil {
+			st.a.run = run
 		}
 	}
 	eng.at(eng.now+dur, func() {
 		if run != nil && run.cancelled {
-			return // the worker was killed mid-kernel; already rolled back
+			return // killed mid-kernel or lost to a speculation sibling
 		}
-		eng.finishTask(t, wk, wait, dur, startSeq)
+		eng.finishTask(t, wk, st.a, blockedSince, wait, dur, startSeq)
 	})
+	if eng.specCtl != nil && st.a != nil {
+		// Straggler detection: the simulator knows the kernel duration
+		// at start, so it schedules a check event only for attempts that
+		// will actually overrun slack × expected — observationally
+		// identical to continuous monitoring, and seq-neutral for runs
+		// where nothing straggles (the byte-identity property).
+		eng.maybeWatch(st.a, dur)
+	}
 	// A kernel is now running: the lookahead slot may fill.
 	eng.wake(wk.info.ID)
 }
@@ -527,8 +613,20 @@ func (eng *simulation) unlockCommute(t *runtime.Task) {
 	}
 }
 
-func (eng *simulation) finishTask(t *runtime.Task, wk *simWorker, wait, dur float64, startSeq int64) {
+func (eng *simulation) finishTask(t *runtime.Task, wk *simWorker, a *attempt, startAt, wait, dur float64, startSeq int64) {
+	if eng.specCtl != nil && a != nil {
+		// First-success-wins: cancel the losing siblings before any
+		// completion effect publishes. Parked commute retries of a loser
+		// then no-op on their cancelled flag, and a loser's write
+		// allocations are rolled back while the winner still pins the
+		// shared replicas (so nothing the winner needs is freed).
+		eng.cancelSiblings(a)
+		eng.specCtl.Effective(t.ID, a.replica)
+	}
+	// The winning attempt commits its execution stamps to the task.
+	t.StartAt = startAt
 	t.EndAt = eng.now
+	t.RanOn = wk.info.ID
 	endSeq := eng.nextSeq() // kernel completion precedes its write effects
 	// Write effects must land before the commute locks release: a
 	// parked successor retries synchronously inside unlockCommute and
@@ -539,7 +637,7 @@ func (eng *simulation) finishTask(t *runtime.Task, wk *simWorker, wait, dur floa
 		Worker:   wk.info.ID,
 		TaskID:   t.ID,
 		Kind:     t.Kind,
-		Start:    t.StartAt,
+		Start:    startAt,
 		End:      t.EndAt,
 		Wait:     wait,
 		StartSeq: startSeq,
@@ -548,8 +646,8 @@ func (eng *simulation) finishTask(t *runtime.Task, wk *simWorker, wait, dur floa
 	if eng.opts.History != nil && wk.unit.SpeedFactor > 0 {
 		eng.opts.History.Record(t.Kind, wk.info.Arch, t.Footprint, dur/wk.unit.SpeedFactor)
 	}
-	if eng.faults != nil {
-		delete(eng.faults.live, t.ID)
+	if a != nil {
+		eng.faults.removeLive(a)
 	}
 	eng.left--
 	for _, s := range t.Succs() {

@@ -1,0 +1,141 @@
+package sim
+
+import (
+	"math"
+
+	"multiprio/internal/trace"
+)
+
+// Speculative straggler mitigation (internal/spec wiring).
+//
+// The simulator computes every kernel's duration at start, so instead
+// of periodically polling attempt progress it schedules one exact
+// detection event — and only for attempts that will actually overrun
+// their slack × expected deadline. A run where nothing straggles
+// therefore consumes no extra events and no linearization seqs, which
+// makes speculation provably trace-neutral there (the conformance
+// property the schedtest suite pins byte-for-byte).
+
+// expectedDur returns the scheduler-visible expected duration of t on
+// wk: the performance model's per-arch estimate scaled by the unit's
+// speed factor. This is the same estimate scheduling decisions are made
+// with, which is exactly the baseline a straggler should be judged
+// against (a slow unit the model knows about is not a straggler).
+func (eng *simulation) expectedDur(a *attempt) float64 {
+	d := eng.env.Delta(a.t, a.wk.info.Arch)
+	if math.IsInf(d, 1) {
+		return 0
+	}
+	return d * a.wk.unit.SpeedFactor
+}
+
+// maybeWatch schedules the straggler-detection event for an attempt
+// whose kernel just started with duration dur, if (and only if) the
+// attempt will still be running at its deadline.
+func (eng *simulation) maybeWatch(a *attempt, dur float64) {
+	exp := eng.expectedDur(a)
+	if !eng.specCtl.Eligible(exp) {
+		return
+	}
+	deadline := eng.specCtl.Deadline(exp)
+	if dur <= deadline {
+		return // finishes in time: no event, no seq, no trace drift
+	}
+	eng.at(eng.now+deadline, func() { eng.speculate(a) })
+}
+
+// speculate fires at an attempt's straggler deadline: if the attempt is
+// still running and the task's replica budget allows, a replica is
+// pushed through the scheduler's normal Push path — placement stays a
+// policy decision, exactly like fault-recovery retries.
+func (eng *simulation) speculate(a *attempt) {
+	if a.cancelled || a.run == nil || a.run.cancelled || !eng.faults.isLive(a) {
+		return // the attempt died (kill) before its deadline
+	}
+	t := a.t
+	if !eng.specCtl.TryFlag(t.ID) {
+		return // already done, or replica budget spent
+	}
+	t.ResetForRetry()
+	t.ReadyAt = eng.now
+	eng.sched.Push(t)
+	if eng.probe != nil {
+		eng.pushed++
+		eng.noteProgress()
+	}
+	eng.wakeAll()
+}
+
+// cancelSiblings cancels every live attempt of the winner's task except
+// the winner itself, in attempt-creation order. Called by finishTask
+// before the winner's effects publish.
+func (eng *simulation) cancelSiblings(winner *attempt) {
+	as := eng.faults.live[winner.t.ID]
+	if len(as) <= 1 {
+		return
+	}
+	// Snapshot: cancelAttempt mutates the live slice.
+	losers := make([]*attempt, 0, len(as)-1)
+	for _, a := range as {
+		if a != winner {
+			losers = append(losers, a)
+		}
+	}
+	for _, a := range losers {
+		eng.cancelAttempt(a)
+	}
+}
+
+// cancelAttempt cancels one losing speculation attempt. Unlike a kill
+// abort, the loser's worker survives: its pipeline slot frees and it
+// may immediately take other work. Resource rollback reuses the fault
+// path's abortAcquire, so the loser's pins are dropped and its
+// write-allocated replicas freed — a cancelled attempt never publishes
+// writes, keeping the oracle's coherence replay valid.
+func (eng *simulation) cancelAttempt(a *attempt) {
+	t := a.t
+	wk := a.wk
+	a.cancelled = true
+	busy := 0.0
+	if a.run != nil && !a.run.cancelled {
+		// The loser was mid-kernel: cancel its completion event, record
+		// the cancelled span, and free the unit.
+		a.run.cancelled = true
+		endSeq := eng.nextSeq()
+		eng.tr.AddSpan(trace.Span{
+			Worker: wk.info.ID, TaskID: t.ID, Kind: t.Kind,
+			Start: a.run.startAt, End: eng.now, Wait: a.run.wait,
+			StartSeq: a.run.startSeq, EndSeq: endSeq, Cancelled: true,
+		})
+		busy = eng.now - a.run.startAt
+		if wk.computing == t {
+			wk.computing = nil
+			wk.freeAt = eng.now
+		}
+	} else {
+		// Staged, acquiring, or parked on a commute lock: no kernel ran,
+		// no span. Drop a staged entry so the worker never starts it.
+		for i := range wk.staged {
+			if wk.staged[i].a == a {
+				wk.staged = append(wk.staged[:i], wk.staged[i+1:]...)
+				break
+			}
+		}
+	}
+	if a.pinned {
+		eng.mm.abortAcquire(t, wk.info.Mem, a.wallocs)
+	}
+	if a.locked {
+		eng.unlockCommute(t)
+	}
+	wk.inflight--
+	eng.faults.removeLive(a)
+	eng.specCtl.CancelAttempt(t.ID, busy)
+	// The loser's worker has a free slot now; let it compute its next
+	// staged task and pop new work. Deferred to a fresh event so the
+	// winner's completion effects (this very call stack) publish first.
+	eng.at(eng.now, func() {
+		eng.maybeCompute(wk)
+		eng.wake(wk.info.ID)
+	})
+}

@@ -1,0 +1,46 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+
+	"multiprio/internal/runtime"
+)
+
+// dumpWatchdog writes the diagnostic dump of a wedged run: progress
+// summary, per-worker state, and the tail of the scheduler decision
+// log. Every line is prefixed so the dump is greppable out of
+// interleaved CI output.
+func (eng *simulation) dumpWatchdog(wd runtime.Watchdog) {
+	w := wd.Output()
+	fmt.Fprintf(w, "sim watchdog: no completion after %v wall time\n", wd.Deadline)
+	fmt.Fprintf(w, "  t=%g events=%d tasks-left=%d/%d scheduler=%s pending-events=%d\n",
+		eng.now, eng.events, eng.left, len(eng.graph.Tasks), eng.sched.Name(), eng.pq.Len())
+	for i := range eng.workers {
+		wk := &eng.workers[i]
+		state := "idle"
+		switch {
+		case wk.dead:
+			state = "dead"
+		case wk.computing != nil:
+			state = fmt.Sprintf("computing task %d (%s)", wk.computing.ID, wk.computing.Kind)
+		case wk.inflight > 0:
+			state = "staging"
+		}
+		fmt.Fprintf(w, "  worker %-12s %s inflight=%d staged=%d\n",
+			wk.unit.Name, state, wk.inflight, len(wk.staged))
+	}
+	fmt.Fprintln(w, "  decision tail (oldest first):")
+	eng.wdTail.Dump(indent{w})
+}
+
+// indent prefixes each written chunk with two spaces (the tail writer
+// emits one line per Write call).
+type indent struct{ w io.Writer }
+
+func (i indent) Write(p []byte) (int, error) {
+	if _, err := i.w.Write([]byte("  ")); err != nil {
+		return 0, err
+	}
+	return i.w.Write(p)
+}

@@ -18,12 +18,16 @@ func (tr *Trace) WriteCanonical(w io.Writer) error {
 		return err
 	}
 	for _, s := range tr.Spans {
-		// Failed attempts get their own line prefix; fault-free traces
-		// contain none, so their encoding is byte-identical to the
-		// pre-fault format (the golden-file invariant).
+		// Failed and cancelled attempts get their own line prefixes;
+		// fault-free, speculation-free traces contain neither, so their
+		// encoding is byte-identical to the pre-fault format (the
+		// golden-file invariant).
 		tag := "span"
-		if s.Failed {
+		switch {
+		case s.Failed:
 			tag = "fail"
+		case s.Cancelled:
+			tag = "canc"
 		}
 		if _, err := fmt.Fprintf(w, "%s w%d t%d %s %s %s %s %d %d\n",
 			tag, s.Worker, s.TaskID, s.Kind, f(s.Start), f(s.End), f(s.Wait), s.StartSeq, s.EndSeq); err != nil {

@@ -136,6 +136,14 @@ func (tr *Trace) WriteChromeTraceWith(w io.Writer, o ChromeOptions) error {
 		if s.Wait > 0 {
 			ev.Args["transfer_wait_us"] = strconv.FormatFloat(s.Wait*1e6, 'f', 1, 64)
 		}
+		switch {
+		case s.Failed:
+			ev.Name = s.Kind + " (failed)"
+			ev.Args["failed"] = "true"
+		case s.Cancelled:
+			ev.Name = s.Kind + " (cancelled)"
+			ev.Args["cancelled"] = "true"
+		}
 		if o.SpanArgs != nil {
 			for k, v := range o.SpanArgs(s.TaskID) {
 				ev.Args[k] = v

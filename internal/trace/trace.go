@@ -33,6 +33,11 @@ type Span struct {
 	// worker was killed mid-kernel, or its completion was discarded).
 	// The task has another, successful span elsewhere in the trace.
 	Failed bool
+	// Cancelled marks a speculation loser: another attempt of the task
+	// completed first, so this one was cancelled (sim) or its completion
+	// discarded (threaded engine). Cancelled attempts never publish
+	// writes; the task's effective span is elsewhere in the trace.
+	Cancelled bool
 }
 
 // Transfer is one data movement between memory nodes.
@@ -109,11 +114,13 @@ func New(m *platform.Machine) *Trace {
 	return &Trace{Machine: m}
 }
 
-// AddSpan records a task execution interval. Failed attempts never push
-// the makespan: the task's successful retry necessarily ends later.
+// AddSpan records a task execution interval. Failed and cancelled
+// attempts never push the makespan: the task's effective completion is
+// a different span (a successful retry ends later by construction; a
+// speculation loser lost to an attempt that already completed).
 func (tr *Trace) AddSpan(s Span) {
 	tr.Spans = append(tr.Spans, s)
-	if s.End > tr.Makespan && !s.Failed {
+	if s.End > tr.Makespan && !s.Failed && !s.Cancelled {
 		tr.Makespan = s.End
 	}
 }
@@ -187,6 +194,18 @@ func (tr *Trace) FailedCount() int {
 	n := 0
 	for i := range tr.Spans {
 		if tr.Spans[i].Failed {
+			n++
+		}
+	}
+	return n
+}
+
+// CancelledCount returns the number of speculation-loser attempts
+// recorded.
+func (tr *Trace) CancelledCount() int {
+	n := 0
+	for i := range tr.Spans {
+		if tr.Spans[i].Cancelled {
 			n++
 		}
 	}
