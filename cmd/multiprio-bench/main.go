@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	multiprio-bench -exp table2|fig3|fig4|fig5|fig6|fig8|ablation|faults|stragglers|all [-scale quick|full] [-gantt]
+//	multiprio-bench -exp table2|fig3|fig4|fig5|fig6|fig8|ablation|faults|stragglers|cluster|all [-scale quick|full] [-gantt]
 //	                [-j N] [-cpuprofile f.pprof] [-memprofile f.pprof]
 //
 // The sweep experiments (fig5, fig6, fig8, ablation, stress) run their
@@ -22,7 +22,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: table2, fig3, fig4, fig5, fig6, fig7, fig8, ablation, hier, energy, stress, overhead, faults, stragglers, all")
+	exp := flag.String("exp", "all", "experiment to run: table2, fig3, fig4, fig5, fig6, fig7, fig8, ablation, hier, energy, stress, overhead, faults, stragglers, cluster, all")
 	scaleFlag := flag.String("scale", "quick", "problem sizing: quick (seconds) or full (paper-scale, minutes)")
 	gantt := flag.Bool("gantt", false, "include ASCII Gantt traces where applicable (fig4)")
 	quick := flag.Bool("quick", false, "shorthand for -scale quick (CI smoke runs)")
@@ -203,10 +203,18 @@ func run(exp string, scale experiments.Scale, gantt bool) error {
 			r.Print(out)
 			return nil
 		},
+		"cluster": func() error {
+			r, err := experiments.RunCluster(scale, prog)
+			if err != nil {
+				return err
+			}
+			r.Print(out)
+			return nil
+		},
 	}
 
 	if exp == "all" {
-		for _, name := range []string{"table2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "ablation", "hier", "energy", "stress", "overhead", "faults", "stragglers"} {
+		for _, name := range []string{"table2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "ablation", "hier", "energy", "stress", "overhead", "faults", "stragglers", "cluster"} {
 			fmt.Fprintf(out, "\n========== %s ==========\n", name)
 			if err := runs[name](); err != nil {
 				return fmt.Errorf("%s: %w", name, err)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"math"
 	"testing"
 
@@ -17,12 +18,12 @@ func twoArchMachine(nA, nB int) *platform.Machine {
 		Mems:  []platform.MemNode{{Name: "ram"}},
 	}
 	for i := 0; i < nA; i++ {
-		m.Units = append(m.Units, platform.Unit{Name: "a1w", Arch: 0, Mem: 0, SpeedFactor: 1})
+		m.Units = append(m.Units, platform.Unit{Name: fmt.Sprintf("a1w%d", i), Arch: 0, Mem: 0, SpeedFactor: 1})
 	}
 	for i := 0; i < nB; i++ {
 		mem := platform.MemID(len(m.Mems))
-		m.Mems = append(m.Mems, platform.MemNode{Name: "a2mem"})
-		m.Units = append(m.Units, platform.Unit{Name: "a2w", Arch: 1, Mem: mem, SpeedFactor: 1})
+		m.Mems = append(m.Mems, platform.MemNode{Name: fmt.Sprintf("a2mem%d", i)})
+		m.Units = append(m.Units, platform.Unit{Name: fmt.Sprintf("a2w%d", i), Arch: 1, Mem: mem, SpeedFactor: 1})
 	}
 	n := len(m.Mems)
 	m.LinkMatrix = make([][]platform.Link, n)

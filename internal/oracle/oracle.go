@@ -19,7 +19,11 @@
 //     CollectMemEvents), a full coherence replay: every read observes
 //     the last writer's version of each handle, replica allocations and
 //     frees balance, and node capacities are never exceeded beyond the
-//     overflow the engine itself reported.
+//     overflow the engine itself reported;
+//   - on multi-node cluster machines (platform.NewCluster), inter-node
+//     transfer replay: a value read on a different node than it was
+//     produced on must have traversed the interconnect as a recorded
+//     transfer, and no cross-node transfer beats its link time.
 //
 // The oracle is pure observation: it never mutates the graph or trace.
 package oracle
@@ -151,6 +155,12 @@ func Check(g *runtime.Graph, tr *trace.Trace, opts Options) error {
 		}
 		if len(tr.MemEvents) > 0 {
 			c.replayMemory()
+			if c.m.NumNodes() > 1 {
+				// Multi-node run: additionally require that every value
+				// crossing nodes traversed an interconnect transfer, and
+				// that no transfer beat its link time (cluster.go).
+				c.checkCluster()
+			}
 		}
 	}
 	return errors.Join(c.errs...)

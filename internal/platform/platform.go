@@ -21,6 +21,10 @@ type MemID int
 // UnitID identifies a processing unit (an element of P).
 type UnitID int
 
+// NodeID identifies one node of a Cluster (see cluster.go). Single-node
+// machines are node 0 everywhere.
+type NodeID int
+
 // Arch describes one architecture type of the node.
 type Arch struct {
 	Name string
@@ -63,15 +67,21 @@ type Link struct {
 	LatencySec float64
 }
 
-// Machine is a complete heterogeneous node description.
+// Machine is a complete heterogeneous node description — or, when
+// Cluster is non-nil, the flattened view of a multi-node cluster whose
+// memory nodes and processing units are instance-addressable through
+// the cluster topology (see NewCluster).
 type Machine struct {
 	Name  string
 	Archs []Arch
 	Mems  []MemNode
 	Units []Unit
 	// LinkMatrix[i][j] describes transfers from memory node i to j.
-	// The diagonal is ignored (no transfer needed).
+	// The diagonal must be the zero Link (no transfer needed).
 	LinkMatrix [][]Link
+	// Cluster, when non-nil, records the multi-node topology this
+	// machine was flattened from. Nil means a plain single node.
+	Cluster *ClusterInfo
 
 	unitsByMem  [][]UnitID
 	unitsByArch [][]UnitID
@@ -99,9 +109,52 @@ func (m *Machine) Validate() error {
 			return fmt.Errorf("platform %q: link matrix row %d has %d cols, want %d", m.Name, i, len(row), len(m.Mems))
 		}
 		for j, l := range row {
-			if i != j && l.BandwidthBytes <= 0 {
+			if i == j {
+				if l.BandwidthBytes != 0 || l.LatencySec != 0 {
+					return fmt.Errorf("platform %q: self-loop link %d->%d must be zero (got bandwidth %v, latency %v)",
+						m.Name, i, j, l.BandwidthBytes, l.LatencySec)
+				}
+				continue
+			}
+			if l.BandwidthBytes <= 0 {
 				return fmt.Errorf("platform %q: link %d->%d has bandwidth %v", m.Name, i, j, l.BandwidthBytes)
 			}
+			if l.LatencySec < 0 {
+				return fmt.Errorf("platform %q: link %d->%d has negative latency %v", m.Name, i, j, l.LatencySec)
+			}
+		}
+	}
+	// Names are the user-facing identity of memory nodes and workers in
+	// traces and reports; a duplicate silently merges two resources in
+	// every rendered view. Unnamed (empty) entries are tolerated for
+	// hand-built test machines.
+	memNames := make(map[string]int, len(m.Mems))
+	for i, mem := range m.Mems {
+		if mem.Name == "" {
+			continue
+		}
+		if prev, dup := memNames[mem.Name]; dup {
+			return fmt.Errorf("platform %q: duplicate memory node name %q (mems %d and %d)", m.Name, mem.Name, prev, i)
+		}
+		memNames[mem.Name] = i
+	}
+	unitNames := make(map[string]int, len(m.Units))
+	for i, u := range m.Units {
+		if u.Name == "" {
+			continue
+		}
+		if prev, dup := unitNames[u.Name]; dup {
+			return fmt.Errorf("platform %q: duplicate worker name %q (units %d and %d)", m.Name, u.Name, prev, i)
+		}
+		unitNames[u.Name] = i
+	}
+	if c := m.Cluster; c != nil {
+		if len(c.MemHost) != len(m.Mems) || len(c.UnitHost) != len(m.Units) {
+			return fmt.Errorf("platform %q: cluster host maps cover %d mems / %d units, want %d / %d",
+				m.Name, len(c.MemHost), len(c.UnitHost), len(m.Mems), len(m.Units))
+		}
+		if len(c.MemBase) != len(c.Nodes) || len(c.UnitBase) != len(c.Nodes) {
+			return fmt.Errorf("platform %q: cluster base maps cover %d nodes, want %d", m.Name, len(c.MemBase), len(c.Nodes))
 		}
 	}
 	m.unitsByMem = make([][]UnitID, len(m.Mems))

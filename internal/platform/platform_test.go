@@ -144,6 +144,76 @@ func TestValidateRejectsBadMachines(t *testing.T) {
 				}},
 			want: "no processing units",
 		},
+		{
+			name: "zero bandwidth link",
+			m: &Machine{Name: "x", Archs: []Arch{{Name: "cpu"}},
+				Mems: []MemNode{{}, {}},
+				Units: []Unit{
+					{Arch: 0, Mem: 0, SpeedFactor: 1},
+					{Arch: 0, Mem: 1, SpeedFactor: 1},
+				},
+				LinkMatrix: [][]Link{
+					{{}, {BandwidthBytes: 0}},
+					{{BandwidthBytes: 1}, {}},
+				}},
+			want: "has bandwidth",
+		},
+		{
+			name: "nonzero self-loop link",
+			m: &Machine{Name: "x", Archs: []Arch{{Name: "cpu"}},
+				Mems:       []MemNode{{}},
+				Units:      []Unit{{Arch: 0, Mem: 0, SpeedFactor: 1}},
+				LinkMatrix: [][]Link{{{BandwidthBytes: 5}}}},
+			want: "self-loop",
+		},
+		{
+			name: "negative link latency",
+			m: &Machine{Name: "x", Archs: []Arch{{Name: "cpu"}},
+				Mems: []MemNode{{}, {}},
+				Units: []Unit{
+					{Arch: 0, Mem: 0, SpeedFactor: 1},
+					{Arch: 0, Mem: 1, SpeedFactor: 1},
+				},
+				LinkMatrix: [][]Link{
+					{{}, {BandwidthBytes: 1, LatencySec: -1}},
+					{{BandwidthBytes: 1}, {}},
+				}},
+			want: "negative latency",
+		},
+		{
+			name: "duplicate memory node names",
+			m: &Machine{Name: "x", Archs: []Arch{{Name: "cpu"}},
+				Mems: []MemNode{{Name: "ram"}, {Name: "ram"}},
+				Units: []Unit{
+					{Arch: 0, Mem: 0, SpeedFactor: 1},
+					{Arch: 0, Mem: 1, SpeedFactor: 1},
+				},
+				LinkMatrix: [][]Link{
+					{{}, {BandwidthBytes: 1}},
+					{{BandwidthBytes: 1}, {}},
+				}},
+			want: "duplicate memory node name",
+		},
+		{
+			name: "duplicate worker names",
+			m: &Machine{Name: "x", Archs: []Arch{{Name: "cpu"}},
+				Mems: []MemNode{{Name: "ram"}},
+				Units: []Unit{
+					{Name: "w", Arch: 0, Mem: 0, SpeedFactor: 1},
+					{Name: "w", Arch: 0, Mem: 0, SpeedFactor: 1},
+				},
+				LinkMatrix: [][]Link{{{}}}},
+			want: "duplicate worker name",
+		},
+		{
+			name: "inconsistent cluster host maps",
+			m: &Machine{Name: "x", Archs: []Arch{{Name: "cpu"}},
+				Mems:       []MemNode{{Name: "ram"}},
+				Units:      []Unit{{Name: "w", Arch: 0, Mem: 0, SpeedFactor: 1}},
+				LinkMatrix: [][]Link{{{}}},
+				Cluster:    &ClusterInfo{Nodes: []*Machine{nil, nil}}},
+			want: "cluster",
+		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -68,7 +68,11 @@ func (s *Sched) Push(t *runtime.Task) {
 	owner := -1
 	var latest float64 = -1
 	for _, p := range s.env.Graph.Preds(t) {
-		if p.EndAt > latest {
+		// Under the two-level cluster distributor this instance sees one
+		// node of a larger machine: a predecessor that ran on another
+		// node's worker (RanOn outside our unit range) owns no deque
+		// here, so the task is spread like a root.
+		if p.EndAt > latest && int(p.RanOn) < len(s.deques) {
 			latest = p.EndAt
 			owner = int(p.RanOn)
 		}

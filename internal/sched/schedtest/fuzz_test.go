@@ -1,6 +1,7 @@
 package schedtest
 
 import (
+	"fmt"
 	"testing"
 
 	"multiprio/internal/apps/randdag"
@@ -54,6 +55,49 @@ func FuzzSchedulerConformance(f *testing.F) {
 		}
 		if err := oracle.Check(g, res.Trace, oracle.Options{OverflowBytes: res.OverflowBytes}); err != nil {
 			t.Fatalf("%s: %v", pol.name, err)
+		}
+	})
+}
+
+// FuzzClusterConformance is the multi-node counterpart: the fuzzer's
+// bytes pick a 2–4 node cluster topology (node shape, interconnect
+// speed) and an inner policy, the DAG runs through the two-level
+// distributor, and the oracle — including the inter-node transfer
+// replay, active because the machine is a multi-node cluster with
+// memory events collected — must accept the run.
+func FuzzClusterConformance(f *testing.F) {
+	f.Add(int64(1), uint8(2), uint8(3), uint8(1), uint8(8), uint8(6), uint8(8), uint8(25), uint8(40), uint8(0))
+	f.Add(int64(2), uint8(3), uint8(2), uint8(0), uint8(2), uint8(3), uint8(10), uint8(70), uint8(0), uint8(3))
+	f.Add(int64(3), uint8(4), uint8(4), uint8(2), uint8(16), uint8(8), uint8(4), uint8(50), uint8(20), uint8(7))
+	f.Fuzz(func(t *testing.T, seed int64, nNodes, nCPU, nGPU, gpuMemMiB, layers, width, gpuPct, commutePct, schedIdx uint8) {
+		nodes := 2 + int(nNodes%3)
+		gpus := int(nGPU % 3)
+		cpus := 2 + int(nCPU%5) + gpus
+		gpuMem := int64(1+gpuMemMiB%32) * platform.MiB
+		m, err := platform.UniformCluster("fuzzc", nodes, func(i int) (*platform.Machine, error) {
+			return platform.NewHeteroNode(fmt.Sprintf("fn%d", i), cpus, 10, gpus, 100, gpuMem, 5e9, platform.Config{})
+		}, 2e9, 2e-5)
+		if err != nil {
+			t.Skip("unbuildable cluster shape")
+		}
+		g := randdag.Build(randdag.Params{
+			Layers:       1 + int(layers%8),
+			Width:        1 + int(width%12),
+			EdgeProb:     0.3,
+			GPUShare:     float64(gpuPct%101) / 100,
+			CommuteShare: float64(commutePct%101) / 100,
+			MeanCost:     1e-3,
+			Machine:      m,
+			Seed:         seed,
+		})
+		pol := policies[int(schedIdx)%len(policies)]
+		sched := distribOf(t, pol.name)
+		res, err := sim.Run(m, g, sched, sim.Options{Seed: seed, CollectMemEvents: true, MaxEvents: 4_000_000})
+		if err != nil {
+			t.Fatalf("distrib:%s failed to complete a valid DAG on %d nodes: %v", pol.name, nodes, err)
+		}
+		if err := oracle.Check(g, res.Trace, oracle.Options{OverflowBytes: res.OverflowBytes}); err != nil {
+			t.Fatalf("distrib:%s on %d nodes: %v", pol.name, nodes, err)
 		}
 	})
 }
