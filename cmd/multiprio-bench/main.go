@@ -22,7 +22,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: table2, fig3, fig4, fig5, fig6, fig7, fig8, ablation, hier, energy, stress, overhead, faults, stragglers, cluster, all")
+	exp := flag.String("exp", "all", "experiment to run: table2, fig3, fig4, fig5, fig6, fig7, fig8, ablation, hier, energy, stress, overhead, faults, stragglers, cluster, stream, all")
 	scaleFlag := flag.String("scale", "quick", "problem sizing: quick (seconds) or full (paper-scale, minutes)")
 	gantt := flag.Bool("gantt", false, "include ASCII Gantt traces where applicable (fig4)")
 	quick := flag.Bool("quick", false, "shorthand for -scale quick (CI smoke runs)")
@@ -211,10 +211,18 @@ func run(exp string, scale experiments.Scale, gantt bool) error {
 			r.Print(out)
 			return nil
 		},
+		"stream": func() error {
+			r, err := experiments.RunStream(scale, prog)
+			if err != nil {
+				return err
+			}
+			r.Print(out)
+			return nil
+		},
 	}
 
 	if exp == "all" {
-		for _, name := range []string{"table2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "ablation", "hier", "energy", "stress", "overhead", "faults", "stragglers", "cluster"} {
+		for _, name := range []string{"table2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "ablation", "hier", "energy", "stress", "overhead", "faults", "stragglers", "cluster", "stream"} {
 			fmt.Fprintf(out, "\n========== %s ==========\n", name)
 			if err := runs[name](); err != nil {
 				return fmt.Errorf("%s: %w", name, err)

@@ -60,6 +60,11 @@ type Options struct {
 	// supersedes it. Nil keeps the strict rule: any cancelled span is a
 	// violation.
 	Spec *SpecCheck
+	// Stream enables validation of streaming (online-ingestion) runs:
+	// arrival gating, per-tenant exactly-once, the admission-control
+	// in-flight bound, and the no-cross-tenant-starvation replay. Nil
+	// skips the streaming invariants (batch runs).
+	Stream *StreamCheck
 }
 
 // FaultCheck configures exactly-once-effective validation: failed
@@ -152,6 +157,9 @@ func Check(g *runtime.Graph, tr *trace.Trace, opts Options) error {
 		}
 		if opts.Spec != nil {
 			c.checkSpecs()
+		}
+		if opts.Stream != nil {
+			c.checkStream()
 		}
 		if len(tr.MemEvents) > 0 {
 			c.replayMemory()

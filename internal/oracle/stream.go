@@ -1,0 +1,223 @@
+package oracle
+
+import (
+	"sort"
+
+	"multiprio/internal/stream"
+)
+
+// StreamCheck configures validation of streaming (online-ingestion)
+// runs. The plan supplies the tenant partition, arrival schedule and
+// admission limits; Admissions is the Fair wrapper's admission log
+// (nil for runs without admission control — then only arrival gating
+// and the per-tenant census are checked).
+//
+// The invariants:
+//
+//   - arrival gating: no attempt of a task — successful, failed or
+//     cancelled — starts before the task's arrival time;
+//   - per-tenant exactly-once: each tenant's task census in the trace
+//     matches the plan exactly (the global exactly-once property of the
+//     base oracle, refined per tenant);
+//   - admission sanity: every task is admitted exactly once, not before
+//     it was pushed, not before its arrival, and nothing runs before
+//     its admission; within a tenant admissions are FIFO in push order;
+//   - bounded in-flight: replaying admissions against completion times,
+//     a tenant with limit L never has more than L tasks in flight;
+//   - no cross-tenant starvation: a task whose admission was delayed
+//     (AdmittedAt > PushedAt) waited only while its own tenant sat at
+//     its limit — the replay finds every sub-saturated interval of the
+//     tenant and rejects any overlap with a deferral window. A task
+//     can therefore never be held back on another tenant's account.
+type StreamCheck struct {
+	Plan       *stream.Plan
+	Admissions []stream.Admission
+}
+
+// checkStream validates the streaming invariants. It runs only when the
+// base invariants hold, so spanOf is total over the graph's tasks.
+func (c *checker) checkStream() {
+	sc := c.opts.Stream
+	p := sc.Plan
+	if err := p.Validate(c.g); err != nil {
+		c.failf("oracle: stream plan invalid: %v", err)
+		return
+	}
+	c.checkArrivalGating(p)
+	c.checkTenantCensus(p)
+	if sc.Admissions != nil {
+		c.checkAdmissions(p, sc.Admissions)
+	}
+}
+
+// checkArrivalGating verifies no attempt starts before its arrival.
+func (c *checker) checkArrivalGating(p *stream.Plan) {
+	if p.Arrivals == nil {
+		return
+	}
+	for _, t := range c.g.Tasks {
+		at := p.Arrivals[t.ID]
+		spans := append(append(c.attemptsOf[t.ID], c.cancelledOf[t.ID]...), c.spanOf[t.ID])
+		for _, s := range spans {
+			if s.Start < at-c.opts.Eps {
+				c.failf("oracle: task %d (tenant %s) started at %g before its arrival at %g",
+					t.ID, p.Name(p.Tenant(t.ID)), s.Start, at)
+			}
+		}
+	}
+}
+
+// checkTenantCensus refines exactly-once per tenant: the successful
+// spans of each tenant must match the plan's task counts.
+func (c *checker) checkTenantCensus(p *stream.Plan) {
+	want := p.TasksOf()
+	got := make([]int, p.NumTenants())
+	for _, t := range c.g.Tasks {
+		if _, ok := c.spanOf[t.ID]; ok {
+			got[p.Tenant(t.ID)]++
+		}
+	}
+	for k := range want {
+		if got[k] != want[k] {
+			c.failf("oracle: tenant %s executed %d tasks, plan submits %d", p.Name(k), got[k], want[k])
+		}
+	}
+}
+
+// checkAdmissions replays the admission log against the trace.
+func (c *checker) checkAdmissions(p *stream.Plan, log []stream.Admission) {
+	eps := c.opts.Eps
+	byTask := make(map[int64]*stream.Admission, len(log))
+	for i := range log {
+		a := &log[i]
+		if prev, dup := byTask[a.Task]; dup {
+			c.failf("oracle: task %d admitted twice (at %g and %g)", a.Task, prev.AdmittedAt, a.AdmittedAt)
+			continue
+		}
+		byTask[a.Task] = a
+		if a.Tenant != p.Tenant(a.Task) {
+			c.failf("oracle: admission log assigns task %d to tenant %d, plan says %d", a.Task, a.Tenant, p.Tenant(a.Task))
+		}
+		if a.AdmittedAt < 0 {
+			c.failf("oracle: task %d was pushed at %g but never admitted", a.Task, a.PushedAt)
+			continue
+		}
+		if a.AdmittedAt < a.PushedAt-eps {
+			c.failf("oracle: task %d admitted at %g before it was pushed at %g", a.Task, a.AdmittedAt, a.PushedAt)
+		}
+		if p.Arrivals != nil && a.PushedAt < p.Arrivals[a.Task]-eps {
+			c.failf("oracle: task %d pushed at %g before its arrival at %g", a.Task, a.PushedAt, p.Arrivals[a.Task])
+		}
+	}
+	for _, t := range c.g.Tasks {
+		a, ok := byTask[t.ID]
+		if !ok {
+			c.failf("oracle: task %d executed without an admission log entry", t.ID)
+			continue
+		}
+		spans := append(append(c.attemptsOf[t.ID], c.cancelledOf[t.ID]...), c.spanOf[t.ID])
+		for _, s := range spans {
+			if s.Start < a.AdmittedAt-eps {
+				c.failf("oracle: task %d started at %g before its admission at %g", t.ID, s.Start, a.AdmittedAt)
+			}
+		}
+	}
+	if len(c.errs) > 0 {
+		return
+	}
+	// Per-tenant replay: FIFO, the in-flight bound, and the starvation
+	// rule. A task is in flight from its admission to the end of its
+	// successful span.
+	perTenant := make([][]*stream.Admission, p.NumTenants())
+	for i := range log {
+		a := &log[i]
+		perTenant[a.Tenant] = append(perTenant[a.Tenant], a)
+	}
+	for k, adms := range perTenant {
+		lim := p.Limit(k)
+		// FIFO within the tenant: sort by push time; admission times
+		// must be nondecreasing (an earlier push is never overtaken).
+		sorted := append([]*stream.Admission(nil), adms...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i].PushedAt < sorted[j].PushedAt })
+		for i := 1; i < len(sorted); i++ {
+			prev, cur := sorted[i-1], sorted[i]
+			if prev.PushedAt < cur.PushedAt-eps && cur.AdmittedAt < prev.AdmittedAt-eps {
+				c.failf("oracle: tenant %s FIFO violated: task %d (pushed %g) admitted at %g before task %d (pushed %g, admitted %g)",
+					p.Name(k), cur.Task, cur.PushedAt, cur.AdmittedAt, prev.Task, prev.PushedAt, prev.AdmittedAt)
+			}
+		}
+		if lim == 0 {
+			// Unbounded: every admission must have been immediate.
+			for _, a := range adms {
+				if a.AdmittedAt > a.PushedAt+eps {
+					c.failf("oracle: tenant %s is unbounded but task %d waited from %g to %g",
+						p.Name(k), a.Task, a.PushedAt, a.AdmittedAt)
+				}
+			}
+			continue
+		}
+		// In-flight sweep. Deltas at identical timestamps coalesce, so a
+		// completion handing its slot to a pending task at the same
+		// instant neither dips below nor spikes above the limit.
+		type event struct {
+			at    float64
+			delta int
+		}
+		var events []event
+		for _, a := range adms {
+			events = append(events, event{a.AdmittedAt, +1})
+			events = append(events, event{c.spanOf[a.Task].End, -1})
+		}
+		sort.Slice(events, func(i, j int) bool { return events[i].at < events[j].at })
+		// gaps collects the maximal intervals where the tenant is below
+		// its limit — intervals a deferral window must never overlap.
+		type gap struct{ from, to float64 }
+		var gaps []gap
+		count := 0
+		gapStart := 0.0 // below limit from t=0 until the first fill-up
+		for i := 0; i < len(events); {
+			j := i
+			net := 0
+			for j < len(events) && events[j].at == events[i].at {
+				net += events[j].delta
+				j++
+			}
+			was, at := count, events[i].at
+			count += net
+			if count > lim {
+				c.failf("oracle: tenant %s has %d tasks in flight at %g, over its limit %d", p.Name(k), count, at, lim)
+			}
+			if was >= lim && count < lim {
+				gapStart = at
+			}
+			if was < lim && count >= lim {
+				gaps = append(gaps, gap{gapStart, at})
+			}
+			i = j
+		}
+		if count < lim {
+			// Below limit from the last event on; close the final gap at
+			// +inf via a sentinel the overlap test handles naturally.
+			gaps = append(gaps, gap{gapStart, c.tr.Makespan + 1})
+		}
+		for _, a := range adms {
+			if a.AdmittedAt <= a.PushedAt+eps {
+				continue // immediate admission needs no justification
+			}
+			for _, gp := range gaps {
+				lo, hi := gp.from, gp.to
+				if a.PushedAt > lo {
+					lo = a.PushedAt
+				}
+				if a.AdmittedAt < hi {
+					hi = a.AdmittedAt
+				}
+				if hi > lo+eps {
+					c.failf("oracle: starvation: task %d (tenant %s) waited [%g, %g] while its tenant was below limit during [%g, %g]",
+						a.Task, p.Name(k), a.PushedAt, a.AdmittedAt, gp.from, gp.to)
+					break
+				}
+			}
+		}
+	}
+}

@@ -1,7 +1,9 @@
 package runtime
 
 import (
+	"fmt"
 	"io"
+	"math"
 	"time"
 
 	"multiprio/internal/fault"
@@ -126,6 +128,14 @@ type RunConfig struct {
 	// diagnostics (decision-log tail, per-worker state) instead of
 	// letting it hang silently.
 	Watchdog Watchdog
+	// Arrivals, when non-nil, turns the run into a streaming run: entry
+	// i is the submission time of task i (virtual seconds for the
+	// simulator, wall-clock seconds for the threaded engine), and the
+	// engine never offers a task to the scheduler before both its
+	// dependencies are released and its arrival time has passed. Nil —
+	// or all zeros — is batch mode: the whole graph is available at
+	// t=0. The length must equal the task count.
+	Arrivals []float64
 }
 
 // Option is a functional option for the engine constructors.
@@ -173,6 +183,32 @@ func WithWatchdog(deadline time.Duration) Option {
 // WithWatchdogOutput redirects the watchdog's diagnostic dump.
 func WithWatchdogOutput(w io.Writer) Option {
 	return func(c *RunConfig) { c.Watchdog.Out = w }
+}
+
+// WithArrivals makes the run a streaming run: at[i] is the submission
+// time of task i, and the engine holds each task back from the
+// scheduler until its arrival time (internal/stream builds arrival
+// plans; all-zero arrivals reproduce batch mode exactly).
+func WithArrivals(at []float64) Option {
+	return func(c *RunConfig) { c.Arrivals = at }
+}
+
+// ValidateArrivals checks an arrival plan against a graph: the plan
+// must cover every task exactly, and every time must be finite and
+// non-negative. Both engines call it before running a streaming graph.
+func ValidateArrivals(at []float64, g *Graph) error {
+	if at == nil {
+		return nil
+	}
+	if len(at) != len(g.Tasks) {
+		return fmt.Errorf("runtime: arrival plan covers %d tasks, graph has %d", len(at), len(g.Tasks))
+	}
+	for i, a := range at {
+		if a < 0 || math.IsNaN(a) || math.IsInf(a, 0) {
+			return fmt.Errorf("runtime: task %d has invalid arrival time %g", i, a)
+		}
+	}
+	return nil
 }
 
 // BuildRunConfig applies opts over the zero config. Engine constructors

@@ -57,6 +57,14 @@ type ThreadedEngine struct {
 	// goroutine of a truly wedged kernel cannot be killed and is
 	// leaked; the dump is the product, the process is presumed doomed.
 	Watchdog Watchdog
+	// Arrivals, when non-nil, makes the run a streaming run: entry i is
+	// the wall-clock submission instant of task i (seconds since run
+	// start), applied with timers — a task is pushed to the scheduler
+	// only once both its dependencies are released and its arrival
+	// instant has passed. The starvation detector treats pending
+	// arrivals like pending retries: an idle machine waiting for work
+	// to arrive is not a livelocked policy.
+	Arrivals []float64
 }
 
 // NewThreadedEngine builds a threaded engine for machine m driving
@@ -77,6 +85,7 @@ func NewThreadedEngine(m *platform.Machine, s Scheduler, opts ...Option) (*Threa
 		Probe:    cfg.Probe,
 		Faults:   cfg.Faults,
 		Watchdog: cfg.Watchdog,
+		Arrivals: cfg.Arrivals,
 	}, nil
 }
 
@@ -112,6 +121,9 @@ func (e *ThreadedEngine) Run(g *Graph) (*Result, error) {
 		return nil, errors.New("runtime: ThreadedEngine.Run: nil scheduler (use NewThreadedEngine)")
 	}
 	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if err := ValidateArrivals(e.Arrivals, g); err != nil {
 		return nil, err
 	}
 	env := NewEnv(e.Machine, g)
@@ -169,9 +181,13 @@ func (e *ThreadedEngine) Run(g *Graph) (*Result, error) {
 		dead           []bool
 		liveWorkers    = len(e.Machine.Units)
 		pendingRetries int
-		attempts       map[int64]int
-		extraSpans     []trace.Span // failed and cancelled attempts
-		fstats         FaultStats
+		// pendingArrivals counts streaming tasks whose dependencies are
+		// released but whose arrival timer has not fired yet (guarded by
+		// mu); like pendingRetries it suppresses the starvation error.
+		pendingArrivals int
+		attempts        map[int64]int
+		extraSpans      []trace.Span // failed and cancelled attempts
+		fstats          FaultStats
 
 		// Speculation/watchdog state (guarded by mu): the in-flight
 		// attempts, and per task how many are in flight.
@@ -233,7 +249,43 @@ func (e *ThreadedEngine) Run(g *Graph) (*Result, error) {
 		}
 	}
 
+	arrivalOf := func(t *Task) float64 {
+		if e.Arrivals == nil {
+			return 0
+		}
+		return e.Arrivals[t.ID]
+	}
+	// scheduleArrival parks a dependency-released task until its
+	// wall-clock arrival instant, then pushes it through the normal
+	// scheduler path. Callers must not hold mu.
+	scheduleArrival := func(t *Task, at float64) {
+		mu.Lock()
+		pendingArrivals++
+		timers = append(timers, time.AfterFunc(time.Duration((at-now())*float64(time.Second)), func() {
+			mu.Lock()
+			pendingArrivals--
+			if finished || failed != nil {
+				mu.Unlock()
+				return
+			}
+			mu.Unlock()
+			t.ReadyAt = now()
+			e.Sched.Push(t)
+			mu.Lock()
+			pushed++
+			nilStreak = 0
+			noteProgress()
+			mu.Unlock()
+			cond.Broadcast()
+		}))
+		mu.Unlock()
+	}
+
 	for _, t := range g.Roots(nil) {
+		if at := arrivalOf(t); at > 0 {
+			scheduleArrival(t, at)
+			continue
+		}
 		t.ReadyAt = 0
 		e.Sched.Push(t)
 		pushed++
@@ -274,7 +326,7 @@ func (e *ThreadedEngine) Run(g *Graph) (*Result, error) {
 						break
 					}
 					nilStreak++
-					if nilStreak >= liveWorkers && running == 0 && pendingRetries == 0 {
+					if nilStreak >= liveWorkers && running == 0 && pendingRetries == 0 && pendingArrivals == 0 {
 						failed = fmt.Errorf("%w (%d tasks left)", ErrStarved, remaining)
 						mu.Unlock()
 						cond.Broadcast()
@@ -413,6 +465,12 @@ func (e *ThreadedEngine) Run(g *Graph) (*Result, error) {
 				released := 0
 				for _, s := range t.Succs() {
 					if s.ReleaseDep() {
+						if at := arrivalOf(s); at > now() {
+							// Dependencies done but the tenant has not
+							// submitted the task yet: park it on a timer.
+							scheduleArrival(s, at)
+							continue
+						}
 						s.ReadyAt = now()
 						e.Sched.Push(s)
 						released++

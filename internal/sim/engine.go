@@ -70,6 +70,15 @@ type Options struct {
 	// the event loop can spin (a pathological scheduler or plan), and
 	// wall time is what CI kills on.
 	Watchdog runtime.Watchdog
+	// Arrivals, when non-nil, makes the run a streaming run: entry i is
+	// the virtual-time submission instant of task i, and the task is
+	// not pushed to the scheduler before max(arrival, dependencies
+	// released). Arrival releases are discrete events, so they
+	// linearize with the rest of the simulation and stay deterministic;
+	// a task whose arrival already passed is pushed inline with no
+	// extra event, which makes an all-zero plan byte-identical to batch
+	// mode. See internal/stream for plan construction.
+	Arrivals []float64
 }
 
 // Result reports one simulated run. It is the engine-agnostic
@@ -112,6 +121,7 @@ func NewEngine(m *platform.Machine, s runtime.Scheduler, opts ...runtime.Option)
 		Probe:            cfg.Probe,
 		Faults:           cfg.Faults,
 		Watchdog:         cfg.Watchdog,
+		Arrivals:         cfg.Arrivals,
 	}}, nil
 }
 
@@ -238,6 +248,9 @@ func runEngine(m *platform.Machine, g *runtime.Graph, s runtime.Scheduler, opts 
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
+	if err := runtime.ValidateArrivals(opts.Arrivals, g); err != nil {
+		return nil, err
+	}
 	eng := &simulation{
 		machine: m,
 		graph:   g,
@@ -322,6 +335,13 @@ func runEngine(m *platform.Machine, g *runtime.Graph, s runtime.Scheduler, opts 
 	}
 
 	for _, t := range g.Roots(nil) {
+		if at := eng.arrivalOf(t); at > 0 {
+			// Streaming run: the root has not arrived yet. Its push is a
+			// discrete event at the arrival instant.
+			t := t
+			eng.at(at, func() { eng.pushArrived(t) })
+			continue
+		}
 		t.ReadyAt = 0
 		s.Push(t)
 		if eng.probe != nil {
@@ -374,6 +394,28 @@ func (eng *simulation) noteProgress() {
 	eng.probe.Counter("sim.submitted", eng.now, eng.seq, float64(eng.pushed))
 	eng.probe.Counter("sim.ready", eng.now, eng.seq, float64(eng.pushed-eng.popped))
 	eng.probe.Counter("sim.completed", eng.now, eng.seq, float64(eng.completed))
+}
+
+// arrivalOf returns the streaming arrival time of t (0 in batch mode).
+func (eng *simulation) arrivalOf(t *runtime.Task) float64 {
+	if eng.opts.Arrivals == nil {
+		return 0
+	}
+	return eng.opts.Arrivals[t.ID]
+}
+
+// pushArrived hands a task whose arrival instant just passed to the
+// scheduler and wakes the workers: the machine may have gone fully idle
+// waiting for work to arrive. Only reached from arrival events
+// (arrival > push instant), so batch-mode traces never see it.
+func (eng *simulation) pushArrived(t *runtime.Task) {
+	t.ReadyAt = eng.now
+	eng.sched.Push(t)
+	if eng.probe != nil {
+		eng.pushed++
+		eng.noteProgress()
+	}
+	eng.wakeAll()
 }
 
 // at schedules fn at time t (>= now).
@@ -652,6 +694,13 @@ func (eng *simulation) finishTask(t *runtime.Task, wk *simWorker, a *attempt, st
 	eng.left--
 	for _, s := range t.Succs() {
 		if s.ReleaseDep() {
+			if at := eng.arrivalOf(s); at > eng.now {
+				// Dependencies done but the tenant has not submitted the
+				// task yet: hold it back until its arrival instant.
+				s := s
+				eng.at(at, func() { eng.pushArrived(s) })
+				continue
+			}
 			s.ReadyAt = eng.now
 			eng.sched.Push(s)
 			if eng.probe != nil {

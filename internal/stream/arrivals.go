@@ -1,0 +1,128 @@
+package stream
+
+import (
+	"fmt"
+	"math"
+)
+
+// Shape selects the inter-arrival distribution of one tenant's stream.
+type Shape int
+
+const (
+	// Uniform spaces arrivals exactly 1/rate apart — a clocked
+	// submitter, the lowest-variance load a tenant can offer.
+	Uniform Shape = iota
+	// Poisson draws exponential inter-arrival gaps of mean 1/rate — the
+	// memoryless open-loop arrival process of queueing theory (STOMP's
+	// default).
+	Poisson
+	// Bursty releases tasks in bursts: up to BurstLen tasks at a single
+	// instant, with exponential gaps between bursts sized so the
+	// long-run rate still matches Rate while the instantaneous load
+	// spikes.
+	Bursty
+)
+
+// String returns the shape name used in reports and flags.
+func (s Shape) String() string {
+	switch s {
+	case Uniform:
+		return "uniform"
+	case Poisson:
+		return "poisson"
+	case Bursty:
+		return "bursty"
+	}
+	return fmt.Sprintf("shape(%d)", int(s))
+}
+
+// TenantArrivals parameterizes one tenant's arrival stream.
+type TenantArrivals struct {
+	// Rate is the long-run arrival rate in tasks per second (> 0).
+	Rate float64
+	// Shape is the inter-arrival distribution.
+	Shape Shape
+	// BurstLen is the maximum burst size for Bursty (ignored otherwise);
+	// values < 2 degrade to Poisson.
+	BurstLen int
+}
+
+// ArrivalSpec is the seed-driven description of a whole arrival plan:
+// one stream per tenant, all derived from a single base seed via
+// independent splitmix64 streams.
+type ArrivalSpec struct {
+	// Seed is the base seed; tenant k's stream is splitmix64 seeded from
+	// (Seed, k) only, so tenants are mutually independent.
+	Seed uint64
+	// Tenants holds one entry per tenant, index-aligned with the plan.
+	Tenants []TenantArrivals
+}
+
+// exp draws an exponential variate of the given mean. 1-f64 keeps the
+// argument in (0, 1] so Log never sees zero.
+func expDraw(r *rng, mean float64) float64 {
+	return -mean * math.Log(1-r.f64())
+}
+
+// Generate fills p.Arrivals from the spec: each tenant's tasks (in task
+// ID order, which is submission order) receive nondecreasing arrival
+// times drawn from that tenant's stream. The spec must cover every
+// tenant of the plan. The same (spec, plan partition) always produces
+// the same schedule, and tenant k's times depend only on (Seed, k,
+// Tenants[k]) — reshaping tenant j cannot move tenant k's arrivals.
+func (spec *ArrivalSpec) Generate(p *Plan) error {
+	if len(spec.Tenants) != p.NumTenants() {
+		return fmt.Errorf("stream: spec covers %d tenants, plan has %d", len(spec.Tenants), p.NumTenants())
+	}
+	for k, ta := range spec.Tenants {
+		if ta.Rate <= 0 || math.IsNaN(ta.Rate) || math.IsInf(ta.Rate, 0) {
+			return fmt.Errorf("stream: tenant %d has invalid rate %g", k, ta.Rate)
+		}
+	}
+	if p.Arrivals == nil || len(p.Arrivals) != len(p.TenantOf) {
+		p.Arrivals = make([]float64, len(p.TenantOf))
+	}
+	clocks := make([]float64, p.NumTenants())
+	rngs := make([]rng, p.NumTenants())
+	// burstLeft counts how many more tasks the current burst may still
+	// emit at the tenant's frozen clock before a new gap is drawn.
+	burstLeft := make([]int, p.NumTenants())
+	for k := range rngs {
+		rngs[k] = tenantRNG(spec.Seed, k)
+	}
+	for id, k := range p.TenantOf {
+		ta := spec.Tenants[k]
+		r := &rngs[k]
+		switch {
+		case ta.Shape == Uniform:
+			p.Arrivals[id] = clocks[k]
+			clocks[k] += 1 / ta.Rate
+		case ta.Shape == Bursty && ta.BurstLen >= 2:
+			if burstLeft[k] == 0 {
+				// Burst size is drawn uniformly in [1, BurstLen] so the
+				// cap is a hard bound; the gap to the burst scales with
+				// the drawn size (mean size/Rate), which keeps the
+				// long-run rate at Rate regardless of BurstLen.
+				size := 1 + int(r.next()%uint64(ta.BurstLen))
+				burstLeft[k] = size
+				clocks[k] += expDraw(r, float64(size)/ta.Rate)
+			}
+			p.Arrivals[id] = clocks[k]
+			burstLeft[k]--
+		default: // Poisson, and Bursty with a degenerate burst length
+			clocks[k] += expDraw(r, 1/ta.Rate)
+			p.Arrivals[id] = clocks[k]
+		}
+	}
+	return nil
+}
+
+// UniformSpec is a convenience: every tenant submits at the same rate
+// with the same shape and burst length.
+func UniformSpec(seed uint64, tenants int, rate float64, shape Shape, burstLen int) *ArrivalSpec {
+	spec := &ArrivalSpec{Seed: seed, Tenants: make([]TenantArrivals, tenants)}
+	for k := range spec.Tenants {
+		spec.Tenants[k] = TenantArrivals{Rate: rate, Shape: shape, BurstLen: burstLen}
+	}
+	return spec
+}

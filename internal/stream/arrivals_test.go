@@ -1,0 +1,139 @@
+package stream
+
+import (
+	"math"
+	"testing"
+)
+
+// plan1 returns a single-tenant plan over n tasks.
+func plan1(n int) *Plan { return SplitEven(n, 1) }
+
+// TestArrivalRateTolerance checks that every shape's long-run arrival
+// rate matches the configured rate: over n tasks the last arrival is
+// close to n/rate.
+func TestArrivalRateTolerance(t *testing.T) {
+	const n, rate = 4000, 100.0
+	for _, shape := range []Shape{Uniform, Poisson, Bursty} {
+		p := plan1(n)
+		spec := &ArrivalSpec{Seed: 7, Tenants: []TenantArrivals{{Rate: rate, Shape: shape, BurstLen: 6}}}
+		if err := spec.Generate(p); err != nil {
+			t.Fatalf("%s: %v", shape, err)
+		}
+		want := float64(n) / rate
+		got := p.Arrivals[n-1]
+		if math.Abs(got-want)/want > 0.10 {
+			t.Errorf("%s: %d arrivals at rate %g span %g s, want %g within 10%%", shape, n, rate, got, want)
+		}
+	}
+}
+
+// TestBurstCap checks bursty streams: no instant carries more than
+// BurstLen arrivals, and bursts actually happen (some instant carries
+// more than one).
+func TestBurstCap(t *testing.T) {
+	const n, burst = 2000, 5
+	p := plan1(n)
+	spec := &ArrivalSpec{Seed: 11, Tenants: []TenantArrivals{{Rate: 50, Shape: Bursty, BurstLen: burst}}}
+	if err := spec.Generate(p); err != nil {
+		t.Fatal(err)
+	}
+	counts := map[float64]int{}
+	max := 0
+	for _, at := range p.Arrivals {
+		counts[at]++
+		if counts[at] > max {
+			max = counts[at]
+		}
+	}
+	if max > burst {
+		t.Errorf("an instant carries %d arrivals, burst cap is %d", max, burst)
+	}
+	if max < 2 {
+		t.Errorf("no instant carries more than one arrival; bursty stream degenerated")
+	}
+}
+
+// TestArrivalsReproducible checks that the same spec over the same plan
+// partition yields the identical schedule.
+func TestArrivalsReproducible(t *testing.T) {
+	mk := func() []float64 {
+		p := SplitEven(500, 3)
+		spec := UniformSpec(42, 3, 80, Poisson, 0)
+		if err := spec.Generate(p); err != nil {
+			t.Fatal(err)
+		}
+		return p.Arrivals
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("arrival %d differs across identical generations: %g vs %g", i, a[i], b[i])
+		}
+	}
+}
+
+// TestTenantIndependence checks that reshaping one tenant's stream
+// cannot move another tenant's arrivals: tenant streams are seeded from
+// (Seed, k) alone, never from a shared draw sequence.
+func TestTenantIndependence(t *testing.T) {
+	const n = 400
+	// Interleave the two tenants so any accidental sharing of a draw
+	// stream would shift tenant 0's times immediately.
+	tenantOf := make([]int, n)
+	for i := range tenantOf {
+		tenantOf[i] = i % 2
+	}
+	gen := func(rate1 float64, shape1 Shape) []float64 {
+		p := NewPlan(append([]int(nil), tenantOf...), 2)
+		spec := &ArrivalSpec{Seed: 13, Tenants: []TenantArrivals{
+			{Rate: 60, Shape: Poisson},
+			{Rate: rate1, Shape: shape1, BurstLen: 4},
+		}}
+		if err := spec.Generate(p); err != nil {
+			t.Fatal(err)
+		}
+		return p.Arrivals
+	}
+	a := gen(60, Poisson)
+	b := gen(7, Bursty)
+	for i := 0; i < n; i += 2 { // tenant 0 positions
+		if a[i] != b[i] {
+			t.Fatalf("tenant 0 arrival %d moved (%g -> %g) when tenant 1 was reshaped", i, a[i], b[i])
+		}
+	}
+}
+
+// TestArrivalsMonotonePerTenant checks each tenant's schedule is
+// nondecreasing in submission order for every shape.
+func TestArrivalsMonotonePerTenant(t *testing.T) {
+	for _, shape := range []Shape{Uniform, Poisson, Bursty} {
+		p := SplitEven(900, 3)
+		spec := UniformSpec(3, 3, 120, shape, 5)
+		if err := spec.Generate(p); err != nil {
+			t.Fatalf("%s: %v", shape, err)
+		}
+		last := make([]float64, 3)
+		for id, k := range p.TenantOf {
+			if p.Arrivals[id] < last[k] {
+				t.Fatalf("%s: tenant %d arrival %d at %g precedes its predecessor at %g",
+					shape, k, id, p.Arrivals[id], last[k])
+			}
+			last[k] = p.Arrivals[id]
+		}
+	}
+}
+
+// TestGenerateErrors checks the spec validation: tenant-count mismatch
+// and non-positive rates are rejected.
+func TestGenerateErrors(t *testing.T) {
+	p := SplitEven(10, 2)
+	if err := (&ArrivalSpec{Seed: 1, Tenants: []TenantArrivals{{Rate: 1}}}).Generate(p); err == nil {
+		t.Error("tenant-count mismatch accepted")
+	}
+	if err := UniformSpec(1, 2, 0, Poisson, 0).Generate(p); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if err := UniformSpec(1, 2, math.Inf(1), Poisson, 0).Generate(p); err == nil {
+		t.Error("infinite rate accepted")
+	}
+}
