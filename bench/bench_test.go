@@ -28,6 +28,7 @@ import (
 	"multiprio/internal/sched/dmdas"
 	"multiprio/internal/sched/eager"
 	"multiprio/internal/sim"
+	"multiprio/internal/telemetry"
 )
 
 // benchGraph builds the shared mid-size Cholesky DAG (Tiles=12 is 364
@@ -248,6 +249,60 @@ func BenchmarkSimEventLoopObserved(b *testing.B) {
 		if _, err := sim.Run(m, g, eager.New(), sim.Options{Probe: probe}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkSimEventLoopTelemetry is BenchmarkSimEventLoop with the
+// production telemetry probe attached as the run observer, the way
+// `multiprio-bench -serve` runs: one long-lived probe accumulating
+// histograms across runs. The delta against BenchmarkSimEventLoop is
+// the full cost of live telemetry; BenchmarkSimEventLoop itself, gated
+// against the committed baseline, proves the nil-observer path did not
+// pick up a single allocation from the telemetry layer.
+func BenchmarkSimEventLoopTelemetry(b *testing.B) {
+	m, g := benchGraph()
+	p := telemetry.NewProbe()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		g.ResetRun()
+		b.StartTimer()
+		if _, err := sim.Run(m, g, eager.New(), sim.Options{Observer: p}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTelemetryTaskDone isolates the probe's hottest operation:
+// one TaskDone decision (two histogram observations, a completion
+// counter, a busy-seconds accumulation, a kind counter). The gate pins
+// this at zero allocations per op — every label handle is resolved at
+// RunStart, so steady-state recording is pure atomics.
+func BenchmarkTelemetryTaskDone(b *testing.B) {
+	m, _ := benchGraph()
+	p := telemetry.NewProbe()
+	p.RunStart(runtime.RunInfo{Machine: m, Tasks: 1, Scheduler: "bench", Engine: "sim"})
+	d := obs.Decision{Kind: obs.TaskDone, At: 2, A: 1, B: 0.5, Worker: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Task = int64(i)
+		p.Decision(d)
+	}
+}
+
+// BenchmarkTelemetryCounterTrack isolates the probe's Counter path: a
+// bracketed gauge track ("mem.used[gpu0]") projected into a labeled
+// family. Steady-state cost is one map hit under RLock plus an atomic
+// store; the gate pins it at zero allocations per op.
+func BenchmarkTelemetryCounterTrack(b *testing.B) {
+	p := telemetry.NewProbe()
+	p.Counter("mem.used[gpu0]", 0, 0, 0) // materialize the instance
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Counter("mem.used[gpu0]", float64(i), int64(i), float64(i%4096))
 	}
 }
 

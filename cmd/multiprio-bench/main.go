@@ -3,12 +3,22 @@
 //
 // Usage:
 //
-//	multiprio-bench -exp table2|fig3|fig4|fig5|fig6|fig8|ablation|faults|stragglers|cluster|all [-scale quick|full] [-gantt]
+//	multiprio-bench -exp table2|fig3|fig4|fig5|fig6|fig8|ablation|faults|stragglers|cluster|telemetry|all [-scale quick|full] [-gantt]
 //	                [-j N] [-cpuprofile f.pprof] [-memprofile f.pprof]
+//	                [-serve :9090] [-export run.jsonl] [-linger 30s]
 //
 // The sweep experiments (fig5, fig6, fig8, ablation, stress) run their
 // configuration grids on a pool of -j workers; tables are byte-identical
 // for every -j value (results are reduced in configuration order).
+//
+// With -serve the process becomes a scrapeable daemon while the
+// experiments run: a telemetry probe observes every engine run and a
+// stdlib HTTP server exposes /metrics (Prometheus text format),
+// /healthz, /readyz, /debug/vars and /debug/pprof on the given address;
+// -linger keeps the endpoint up for the given duration after the last
+// experiment so scrapers can collect the final state. With -export the
+// probe additionally captures decision events and writes a
+// schema-versioned JSONL run export to the given path on exit.
 package main
 
 import (
@@ -17,18 +27,23 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"time"
 
 	"multiprio/internal/experiments"
+	"multiprio/internal/telemetry"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: table2, fig3, fig4, fig5, fig6, fig7, fig8, ablation, hier, energy, stress, overhead, faults, stragglers, cluster, stream, all")
+	exp := flag.String("exp", "all", "experiment to run: table2, fig3, fig4, fig5, fig6, fig7, fig8, ablation, hier, energy, stress, overhead, faults, stragglers, cluster, stream, telemetry, all")
 	scaleFlag := flag.String("scale", "quick", "problem sizing: quick (seconds) or full (paper-scale, minutes)")
 	gantt := flag.Bool("gantt", false, "include ASCII Gantt traces where applicable (fig4)")
 	quick := flag.Bool("quick", false, "shorthand for -scale quick (CI smoke runs)")
 	jobs := flag.Int("j", runtime.NumCPU(), "sweep worker-pool size (1 = serial; output is identical either way)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
+	serveAddr := flag.String("serve", "", "serve telemetry (/metrics, /healthz, /readyz, /debug/*) on this address while experiments run")
+	exportPath := flag.String("export", "", "write a JSONL telemetry run export to this file at exit (enables decision capture)")
+	linger := flag.Duration("linger", 0, "keep the -serve endpoint up this long after the last experiment")
 	flag.Parse()
 
 	if *quick {
@@ -58,7 +73,53 @@ func main() {
 		}
 	}
 
+	// Telemetry wiring: one probe observes every engine run the
+	// experiment drivers execute; the server (if any) outlives the runs
+	// by -linger so the final state is scrapeable.
+	var probe *telemetry.Probe
+	var server *telemetry.Server
+	if *serveAddr != "" || *exportPath != "" {
+		var popts []telemetry.ProbeOption
+		if *exportPath != "" {
+			popts = append(popts, telemetry.WithDecisionCapture(1<<21))
+		}
+		probe = telemetry.NewProbe(popts...)
+		experiments.SetObserver(probe)
+		if *serveAddr != "" {
+			var serr error
+			server, serr = telemetry.Serve(*serveAddr, probe)
+			if serr != nil {
+				fmt.Fprintf(os.Stderr, "multiprio-bench: %v\n", serr)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "multiprio-bench: telemetry on http://%s/metrics\n", server.Addr())
+		}
+	}
+
 	err := run(*exp, scale, *gantt)
+
+	if server != nil {
+		if *linger > 0 {
+			fmt.Fprintf(os.Stderr, "multiprio-bench: lingering %s on http://%s\n", *linger, server.Addr())
+			time.Sleep(*linger)
+		}
+		if cerr := server.Close(); cerr != nil {
+			fmt.Fprintf(os.Stderr, "multiprio-bench: telemetry shutdown: %v\n", cerr)
+		}
+	}
+	if probe != nil && *exportPath != "" {
+		f, ferr := os.Create(*exportPath)
+		if ferr == nil {
+			ferr = telemetry.ExportJSONL(f, probe)
+			if cerr := f.Close(); ferr == nil {
+				ferr = cerr
+			}
+		}
+		if ferr != nil {
+			fmt.Fprintf(os.Stderr, "multiprio-bench: export: %v\n", ferr)
+			os.Exit(1)
+		}
+	}
 
 	if *cpuProfile != "" {
 		pprof.StopCPUProfile()
@@ -219,10 +280,18 @@ func run(exp string, scale experiments.Scale, gantt bool) error {
 			r.Print(out)
 			return nil
 		},
+		"telemetry": func() error {
+			r, err := experiments.RunTelemetry(scale, prog)
+			if err != nil {
+				return err
+			}
+			r.Print(out)
+			return nil
+		},
 	}
 
 	if exp == "all" {
-		for _, name := range []string{"table2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "ablation", "hier", "energy", "stress", "overhead", "faults", "stragglers", "cluster", "stream"} {
+		for _, name := range []string{"table2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "ablation", "hier", "energy", "stress", "overhead", "faults", "stragglers", "cluster", "stream", "telemetry"} {
 			fmt.Fprintf(out, "\n========== %s ==========\n", name)
 			if err := runs[name](); err != nil {
 				return fmt.Errorf("%s: %w", name, err)

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync/atomic"
 
 	"multiprio/internal/platform"
 	"multiprio/internal/runtime"
@@ -17,6 +18,27 @@ import (
 
 	_ "multiprio/internal/sched/all" // register every policy
 )
+
+// observerHolder wraps the interface so atomic.Pointer can carry a nil
+// observer distinctly from "never set".
+type observerHolder struct{ o runtime.RunObserver }
+
+var curObserver atomic.Pointer[observerHolder]
+
+// SetObserver attaches a run observer (typically a *telemetry.Probe) to
+// every engine run the experiment drivers execute through runOne and
+// the streaming study — the hook behind multiprio-bench's -serve and
+// -export flags. Like SetWorkers it is process-global; set it before
+// launching experiments. Pass nil to detach.
+func SetObserver(o runtime.RunObserver) { curObserver.Store(&observerHolder{o: o}) }
+
+// Observer returns the currently attached run observer, or nil.
+func Observer() runtime.RunObserver {
+	if h := curObserver.Load(); h != nil {
+		return h.o
+	}
+	return nil
+}
 
 // Scale selects experiment sizing.
 type Scale int
@@ -60,7 +82,7 @@ func runOne(m *platform.Machine, g *runtime.Graph, schedName string, seed int64)
 	if err != nil {
 		return nil, err
 	}
-	return sim.Run(m, g, s, sim.Options{Seed: seed})
+	return sim.Run(m, g, s, sim.Options{Seed: seed, Observer: Observer()})
 }
 
 // gflops converts a flop count and a runtime to GFlop/s.

@@ -13,6 +13,7 @@ import (
 	"multiprio/internal/sched/registry"
 	"multiprio/internal/sim"
 	"multiprio/internal/stream"
+	"multiprio/internal/telemetry"
 )
 
 // TenantMetrics is the per-tenant service quality of one streaming
@@ -79,9 +80,18 @@ func RunStream(scale Scale, progress io.Writer) (*StreamResult, error) {
 
 	// Batch horizon: the makespan with everything available at t=0 fixes
 	// the time scale the load factor ρ is expressed against.
-	gBase, _, err := build()
+	gBase, planBase, err := build()
 	if err != nil {
 		return nil, err
+	}
+	// With a telemetry observer attached (-serve/-export), attribute
+	// tasks to their tenants so the per-tenant histograms fill with real
+	// labels. The partition is deterministic and identical across cells,
+	// so one representative plan covers the whole sweep.
+	if tp, ok := Observer().(*telemetry.Probe); ok && tp != nil {
+		tp.SetTenantFunc(func(id int64) string {
+			return planBase.Name(planBase.Tenant(id))
+		})
 	}
 	base, err := runOne(m, gBase, "dmdas", 11)
 	if err != nil {
@@ -151,7 +161,8 @@ func RunStream(scale Scale, progress io.Writer) (*StreamResult, error) {
 		if err != nil {
 			return StreamCell{}, fmt.Errorf("%s: %w", label, err)
 		}
-		res, err := sim.Run(m, g, fair, sim.Options{Seed: SweepSeed(47, idx), Arrivals: plan.Arrivals})
+		res, err := sim.Run(m, g, fair, sim.Options{Seed: SweepSeed(47, idx),
+			Arrivals: plan.Arrivals, Observer: Observer()})
 		if err != nil {
 			return StreamCell{}, fmt.Errorf("%s: %w", label, err)
 		}
@@ -165,7 +176,13 @@ func RunStream(scale Scale, progress io.Writer) (*StreamResult, error) {
 			Rho: rho, Shape: shape.name, Skew: skew.name, Scheduler: schedName,
 			Makespan: res.Makespan, OracleOK: true,
 		}
-		stats := fair.Stats()
+		// Admission statistics come off the engine Result (the Fair
+		// wrapper implements runtime.StreamStatsReporter), not by
+		// reaching into the scheduler.
+		stats := res.Stream
+		if stats == nil {
+			return StreamCell{}, fmt.Errorf("%s: result carries no stream stats", label)
+		}
 		for k := 0; k < tenants; k++ {
 			var queue []float64
 			firstArrival, lastEnd := -1.0, 0.0

@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the CSV export golden")
+
+// TestMetricsCSVGolden pins the CSV export contract downstream tooling
+// (pandas/R notebooks, the telemetry JSONL consumers) depends on: the
+// exact header, track-name-sorted row order regardless of recording
+// order, full-precision 'g' float formatting, and same-instant sample
+// collapsing. Any change to WriteCSV's layout must be deliberate enough
+// to regenerate the golden with -update.
+func TestMetricsCSVGolden(t *testing.T) {
+	m := NewMetrics()
+	// Record tracks deliberately out of name order, with a same-instant
+	// overwrite on the first track.
+	m.Counter("sim.ready", 0.5, 3, 4)
+	m.Counter("mem.used[gpu0]", 0.25, 1, 1024)
+	m.Counter("mem.used[gpu0]", 0.25, 1, 2048) // collapses onto the previous sample
+	m.Counter("mem.used[gpu0]", 1.0/3.0, 2, 4096)
+	m.Counter("stream.inflight[t0]", 0.75, 5, 2)
+	m.Counter("mem.evictions[gpu0]", 0.9, 7, 1)
+
+	var got bytes.Buffer
+	if err := m.WriteCSV(&got); err != nil {
+		t.Fatal(err)
+	}
+
+	// Structural invariants, independent of the golden bytes.
+	lines := strings.Split(strings.TrimSuffix(got.String(), "\n"), "\n")
+	if lines[0] != "track,at,seq,value" {
+		t.Fatalf("header = %q, want track,at,seq,value", lines[0])
+	}
+	prevTrack := ""
+	for _, l := range lines[1:] {
+		track := l[:strings.IndexByte(l, ',')]
+		if track < prevTrack {
+			t.Fatalf("tracks out of sorted order: %q after %q", track, prevTrack)
+		}
+		prevTrack = track
+	}
+	if n := len(lines) - 1; n != 5 {
+		t.Fatalf("%d rows, want 5 (same-instant samples must collapse)", n)
+	}
+
+	path := filepath.Join("testdata", "metrics_csv.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Fatalf("CSV export drifted:\n got:\n%s\nwant:\n%s", got.Bytes(), want)
+	}
+}

@@ -68,6 +68,14 @@ const (
 	// estimate added to the worker's load, C = the transfer estimate
 	// for the worker's memory node (0 for the dm variant).
 	MapTask
+	// TaskDone is the engine-level effective completion of a task —
+	// emitted by the engines themselves, not a policy, so it appears for
+	// every scheduler. At is the completion instant, Worker/Mem/Arch the
+	// unit that ran the winning attempt, A the kernel start time and B
+	// the instant the task was offered to the scheduler (its ReadyAt).
+	// Queue time is therefore A−B and sojourn time At−B, which is what
+	// the telemetry layer's per-tenant histograms record live.
+	TaskDone
 )
 
 // String returns the short canonical name of the kind.
@@ -85,6 +93,8 @@ func (k DecisionKind) String() string {
 		return "stale"
 	case MapTask:
 		return "map"
+	case TaskDone:
+		return "done"
 	default:
 		return "?"
 	}
@@ -150,4 +160,24 @@ func (m Multi) Counter(track string, at float64, seq int64, value float64) {
 	for _, p := range m {
 		p.Counter(track, at, seq, value)
 	}
+}
+
+// Combine fans the non-nil probes into one. It returns nil when every
+// argument is nil and the sole probe unwrapped, so engines can merge a
+// user probe with an internal one (watchdog tail, telemetry) without
+// paying a fan-out layer in the common single-probe case.
+func Combine(ps ...Probe) Probe {
+	var out Multi
+	for _, p := range ps {
+		if p != nil {
+			out = append(out, p)
+		}
+	}
+	switch len(out) {
+	case 0:
+		return nil
+	case 1:
+		return out[0]
+	}
+	return out
 }

@@ -49,6 +49,47 @@ type Result struct {
 	// Spec summarizes speculation activity (straggler replication).
 	// All-zero when the plan's speculation policy is disabled.
 	Spec spec.Stats
+	// Stream summarizes per-tenant admission activity when the run's
+	// scheduler (or a wrapper around it, like stream.Fair) implements
+	// StreamStatsReporter; nil otherwise. Both engines populate it, so
+	// telemetry and experiments read admission statistics off the Result
+	// instead of reaching into the scheduler.
+	Stream *StreamStats
+}
+
+// StreamStats is the per-tenant admission summary of a streaming run,
+// the engine-agnostic form of stream.FairStats. Slices are indexed by
+// tenant; Tenants carries the display labels.
+type StreamStats struct {
+	// Tenants are the tenant display names, index-aligned with the
+	// counters below.
+	Tenants []string
+	// Admitted counts first admissions per tenant (retry re-pushes
+	// excluded).
+	Admitted []int
+	// Deferred counts admissions that waited in the tenant's pending
+	// queue behind its in-flight limit.
+	Deferred []int
+	// MaxPending is the high-water mark of each tenant's pending queue.
+	MaxPending []int
+}
+
+// StreamStatsReporter is implemented by schedulers (or scheduler
+// wrappers) that keep per-tenant admission state. Engines query it once
+// after a successful run and publish the snapshot on Result.Stream.
+type StreamStatsReporter interface {
+	StreamStats() StreamStats
+}
+
+// StreamStatsOf snapshots the scheduler's admission statistics, or nil
+// when the scheduler does not report them. Both engines call it when
+// assembling a Result.
+func StreamStatsOf(s Scheduler) *StreamStats {
+	if r, ok := s.(StreamStatsReporter); ok {
+		ss := r.StreamStats()
+		return &ss
+	}
+	return nil
 }
 
 // WorkerStat is the per-worker execution summary of a Result.
@@ -136,6 +177,36 @@ type RunConfig struct {
 	// or all zeros — is batch mode: the whole graph is available at
 	// t=0. The length must equal the task count.
 	Arrivals []float64
+	// Observer, when non-nil, receives the run lifecycle: RunStart
+	// before the scheduler initializes, every probe event during the
+	// run (fanned in beside Probe via obs.Combine), and RunEnd with the
+	// Result (or error) once the run finishes. The telemetry layer
+	// (internal/telemetry) implements it to keep live metrics and
+	// health state without touching any instrumentation site.
+	Observer RunObserver
+}
+
+// RunInfo describes a run to an observer at RunStart.
+type RunInfo struct {
+	// Machine is the platform the run executes on.
+	Machine *platform.Machine
+	// Tasks is the task count of the graph.
+	Tasks int
+	// Scheduler is the policy name driving the run.
+	Scheduler string
+	// Engine names the executing engine: "sim" or "threaded".
+	Engine string
+}
+
+// RunObserver extends obs.Probe with run lifecycle hooks: engines call
+// RunStart after validating the graph and RunEnd exactly once per Run
+// with the Result (nil on failure) and the run error. Observation must
+// stay read-only: the canonical-trace goldens are byte-identical with
+// an observer attached, exactly as for plain probes.
+type RunObserver interface {
+	obs.Probe
+	RunStart(info RunInfo)
+	RunEnd(res *Result, err error)
 }
 
 // Option is a functional option for the engine constructors.
@@ -183,6 +254,13 @@ func WithWatchdog(deadline time.Duration) Option {
 // WithWatchdogOutput redirects the watchdog's diagnostic dump.
 func WithWatchdogOutput(w io.Writer) Option {
 	return func(c *RunConfig) { c.Watchdog.Out = w }
+}
+
+// WithObserver attaches a run observer (see RunObserver): its probe
+// half fans in beside any WithProbe probe, and its lifecycle hooks see
+// every Run start and end.
+func WithObserver(o RunObserver) Option {
+	return func(c *RunConfig) { c.Observer = o }
 }
 
 // WithArrivals makes the run a streaming run: at[i] is the submission

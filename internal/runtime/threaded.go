@@ -65,6 +65,11 @@ type ThreadedEngine struct {
 	// arrivals like pending retries: an idle machine waiting for work
 	// to arrive is not a livelocked policy.
 	Arrivals []float64
+	// Observer, when non-nil, receives the run lifecycle (RunStart /
+	// RunEnd) and every probe event, fanned in beside Probe. The
+	// telemetry layer implements it to serve live metrics off a
+	// long-running streamed workload.
+	Observer RunObserver
 }
 
 // NewThreadedEngine builds a threaded engine for machine m driving
@@ -86,6 +91,7 @@ func NewThreadedEngine(m *platform.Machine, s Scheduler, opts ...Option) (*Threa
 		Faults:   cfg.Faults,
 		Watchdog: cfg.Watchdog,
 		Arrivals: cfg.Arrivals,
+		Observer: cfg.Observer,
 	}, nil
 }
 
@@ -114,6 +120,21 @@ type taskRun struct {
 
 // Run executes the graph and reports the run. It implements Engine.
 func (e *ThreadedEngine) Run(g *Graph) (*Result, error) {
+	if e.Observer == nil || e.Machine == nil || e.Sched == nil {
+		// Nil-field literals fall through to run's validation errors.
+		return e.run(g)
+	}
+	e.Observer.RunStart(RunInfo{
+		Machine: e.Machine, Tasks: len(g.Tasks),
+		Scheduler: e.Sched.Name(), Engine: "threaded",
+	})
+	res, err := e.run(g)
+	e.Observer.RunEnd(res, err)
+	return res, err
+}
+
+// run is the engine body behind the observer lifecycle wrapper.
+func (e *ThreadedEngine) run(g *Graph) (*Result, error) {
 	if e.Machine == nil {
 		return nil, errors.New("runtime: ThreadedEngine.Run: nil machine (use NewThreadedEngine)")
 	}
@@ -141,10 +162,13 @@ func (e *ThreadedEngine) Run(g *Graph) (*Result, error) {
 		env.Model = fault.NoisyEstimator{Base: env.Model, Rel: plan.ModelNoise, Seed: plan.NoiseSeed}
 	}
 	probe := e.Probe
+	if e.Observer != nil {
+		probe = obs.Combine(probe, e.Observer)
+	}
 	var wdTail *DecisionTail
 	if e.Watchdog.Armed() {
 		wdTail = NewDecisionTail(e.Watchdog.TailLen())
-		probe = WatchdogProbe(e.Probe, wdTail)
+		probe = WatchdogProbe(probe, wdTail)
 	}
 	env.Probe = probe
 	e.Sched.Init(env)
@@ -452,6 +476,13 @@ func (e *ThreadedEngine) Run(g *Graph) (*Result, error) {
 				running--
 				remaining--
 				done++
+				if probe != nil {
+					probe.Decision(obs.Decision{
+						Kind: obs.TaskDone, At: endAt, Task: t.ID,
+						Worker: int(w.ID), Mem: int(w.Mem), Arch: int(w.Arch),
+						A: startAt, B: t.ReadyAt,
+					})
+				}
 				mu.Unlock()
 
 				if e.History != nil {
@@ -631,6 +662,7 @@ func (e *ThreadedEngine) Run(g *Graph) (*Result, error) {
 	if ctl != nil {
 		res.Spec = ctl.Stats
 	}
+	res.Stream = StreamStatsOf(e.Sched)
 	return res, nil
 }
 

@@ -79,6 +79,11 @@ type Options struct {
 	// extra event, which makes an all-zero plan byte-identical to batch
 	// mode. See internal/stream for plan construction.
 	Arrivals []float64
+	// Observer, when non-nil, receives the run lifecycle (RunStart /
+	// RunEnd) and every probe event, fanned in beside Probe. Like plain
+	// probes, observers are read-only: the canonical trace is
+	// byte-identical with one attached.
+	Observer runtime.RunObserver
 }
 
 // Result reports one simulated run. It is the engine-agnostic
@@ -122,6 +127,7 @@ func NewEngine(m *platform.Machine, s runtime.Scheduler, opts ...runtime.Option)
 		Faults:           cfg.Faults,
 		Watchdog:         cfg.Watchdog,
 		Arrivals:         cfg.Arrivals,
+		Observer:         cfg.Observer,
 	}}, nil
 }
 
@@ -205,6 +211,21 @@ type stagedTask struct {
 
 // Run simulates the execution of g on m under scheduler s.
 func Run(m *platform.Machine, g *runtime.Graph, s runtime.Scheduler, opts Options) (*Result, error) {
+	if o := opts.Observer; o != nil {
+		// The observer's probe half joins the fan-out; its lifecycle
+		// hooks bracket the run.
+		opts.Probe = obs.Combine(opts.Probe, o)
+		o.RunStart(runtime.RunInfo{
+			Machine: m, Tasks: len(g.Tasks), Scheduler: s.Name(), Engine: "sim",
+		})
+		eng, err := runEngine(m, g, s, opts)
+		var res *Result
+		if err == nil {
+			res = eng.result()
+		}
+		o.RunEnd(res, err)
+		return res, err
+	}
 	eng, err := runEngine(m, g, s, opts)
 	if err != nil {
 		return nil, err
@@ -239,6 +260,7 @@ func (eng *simulation) result() *Result {
 		}
 	}
 	res.Workers = runtime.WorkerStatsFromTrace(eng.machine, eng.tr, kills)
+	res.Stream = runtime.StreamStatsOf(eng.sched)
 	return res
 }
 
@@ -711,6 +733,14 @@ func (eng *simulation) finishTask(t *runtime.Task, wk *simWorker, a *attempt, st
 	if eng.probe != nil {
 		eng.completed++
 		eng.noteProgress()
+		// Engine-level completion event: queue time (StartAt − ReadyAt)
+		// and sojourn time derive from it for every policy, which is
+		// what feeds the telemetry layer's per-tenant histograms.
+		eng.probe.Decision(obs.Decision{
+			Kind: obs.TaskDone, At: eng.now, Seq: eng.seq, Task: t.ID,
+			Worker: int(wk.info.ID), Mem: int(wk.info.Mem), Arch: int(wk.info.Arch),
+			A: startAt, B: t.ReadyAt,
+		})
 	}
 	eng.sched.TaskDone(t, wk.info)
 	wk.computing = nil

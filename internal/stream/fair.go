@@ -57,6 +57,12 @@ type Fair struct {
 	admitted []bool
 	log      []Admission
 	stats    FairStats
+
+	// inflightTrack/pendingTrack are the per-tenant probe track names,
+	// prebuilt at Init so the instrumented path never allocates; nil
+	// when the env carries no probe.
+	inflightTrack []string
+	pendingTrack  []string
 }
 
 // NewFair wraps an instantiated policy. The plan supplies the tenant
@@ -95,8 +101,28 @@ func (f *Fair) Init(env *runtime.Env) {
 		Deferred:   make([]int, n),
 		MaxPending: make([]int, n),
 	}
+	f.inflightTrack, f.pendingTrack = nil, nil
+	if env.Probe != nil {
+		f.inflightTrack = make([]string, n)
+		f.pendingTrack = make([]string, n)
+		for k := 0; k < n; k++ {
+			f.inflightTrack[k] = "stream.inflight[" + f.plan.Name(k) + "]"
+			f.pendingTrack[k] = "stream.pending[" + f.plan.Name(k) + "]"
+		}
+	}
 	f.mu.Unlock()
 	f.inner.Init(env)
+}
+
+// noteTenant samples tenant k's in-flight and pending depths on the
+// env probe. Callers hold f.mu; a nil probe costs one branch.
+func (f *Fair) noteTenant(k int) {
+	if f.inflightTrack == nil {
+		return
+	}
+	at, seq := f.env.Now(), f.env.Seq()
+	f.env.Probe.Counter(f.inflightTrack[k], at, seq, float64(f.inflight[k]))
+	f.env.Probe.Counter(f.pendingTrack[k], at, seq, float64(len(f.pending[k])))
 }
 
 // Push offers a dependency-released task. First offers go through
@@ -122,10 +148,12 @@ func (f *Fair) Push(t *runtime.Task) {
 		// frees. Stash the push time on the log entry eagerly so the
 		// admission in TaskDone only completes it.
 		f.log = append(f.log, Admission{Task: t.ID, Tenant: k, PushedAt: now, AdmittedAt: -1})
+		f.noteTenant(k)
 		f.mu.Unlock()
 		return
 	}
 	f.admitNowLocked(t, k, now, now)
+	f.noteTenant(k)
 	f.mu.Unlock()
 	f.inner.Push(t)
 }
@@ -169,6 +197,7 @@ func (f *Fair) TaskDone(t *runtime.Task, w runtime.WorkerInfo) {
 		f.stats.Admitted[k]++
 		admit = append(admit, next)
 	}
+	f.noteTenant(k)
 	f.mu.Unlock()
 	f.inner.TaskDone(t, w)
 	for _, nt := range admit {
@@ -205,4 +234,23 @@ func (f *Fair) Stats() FairStats {
 		MaxPending: append([]int(nil), f.stats.MaxPending...),
 	}
 	return s
+}
+
+// StreamStats implements runtime.StreamStatsReporter, so both engines
+// surface per-tenant admission statistics on runtime.Result.Stream
+// without importing this package.
+func (f *Fair) StreamStats() runtime.StreamStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := f.plan.NumTenants()
+	out := runtime.StreamStats{
+		Tenants:    make([]string, n),
+		Admitted:   append([]int(nil), f.stats.Admitted...),
+		Deferred:   append([]int(nil), f.stats.Deferred...),
+		MaxPending: append([]int(nil), f.stats.MaxPending...),
+	}
+	for k := 0; k < n; k++ {
+		out.Tenants[k] = f.plan.Name(k)
+	}
+	return out
 }

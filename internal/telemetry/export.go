@@ -1,0 +1,124 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"math"
+	"strconv"
+
+	"multiprio/internal/obs"
+)
+
+// SchemaVersion identifies the JSONL export layout. Bump on any
+// incompatible line-shape change; consumers must check it before
+// parsing further lines.
+const SchemaVersion = "multiprio.telemetry.v1"
+
+// Export line shapes. Every line is one JSON object whose "kind" field
+// selects the shape; the first line is always the header.
+type exportHeader struct {
+	Schema    string `json:"schema"`
+	Kind      string `json:"kind"` // "header"
+	Runs      int    `json:"runs"`
+	Decisions int    `json:"decisions"`
+	Dropped   int64  `json:"dropped,omitempty"`
+}
+
+type exportRun struct {
+	Kind      string  `json:"kind"` // "run"
+	Engine    string  `json:"engine"`
+	Scheduler string  `json:"scheduler"`
+	Tasks     int     `json:"tasks"`
+	Makespan  float64 `json:"makespan"`
+	Error     string  `json:"error,omitempty"`
+}
+
+// jfloat is a float64 that survives JSON encoding when non-finite:
+// decision scalars legitimately carry +Inf (a PushBest with a single
+// eligible architecture encodes δ as +Inf), which encoding/json rejects
+// as a bare float64. Non-finite values render as the strings "+Inf",
+// "-Inf" and "NaN", matching the Prometheus exposition spelling.
+type jfloat float64
+
+// MarshalJSON implements json.Marshaler.
+func (f jfloat) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	switch {
+	case math.IsInf(v, 1):
+		return []byte(`"+Inf"`), nil
+	case math.IsInf(v, -1):
+		return []byte(`"-Inf"`), nil
+	case math.IsNaN(v):
+		return []byte(`"NaN"`), nil
+	}
+	return strconv.AppendFloat(nil, v, 'g', -1, 64), nil
+}
+
+type exportDecision struct {
+	Kind     string `json:"kind"` // "decision"
+	Decision string `json:"decision"`
+	At       jfloat `json:"at"`
+	Seq      int64  `json:"seq,omitempty"`
+	Task     int64  `json:"task"`
+	Worker   int    `json:"worker"`
+	Mem      int    `json:"mem"`
+	Arch     int    `json:"arch"`
+	N        int    `json:"n,omitempty"`
+	A        jfloat `json:"a,omitempty"`
+	B        jfloat `json:"b,omitempty"`
+	C        jfloat `json:"c,omitempty"`
+}
+
+type exportFamily struct {
+	Kind string `json:"kind"` // "family"
+	FamilySnapshot
+}
+
+// ExportJSONL writes the probe's captured run records and decision
+// events plus a final metrics snapshot as JSON Lines: one header line
+// carrying SchemaVersion, one "run" line per observed run, one
+// "decision" line per captured event (in capture order — for sim runs
+// this is the deterministic event-loop order), and one "family" line
+// per metric family. Decision lines require the probe to have been
+// built with WithDecisionCapture; without it the export still carries
+// runs and metrics.
+func ExportJSONL(w io.Writer, p *Probe) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+
+	p.capMu.Lock()
+	runs := append([]runRecord(nil), p.runs...)
+	decisions := append([]obs.Decision(nil), p.capture...)
+	dropped := p.dropped
+	p.capMu.Unlock()
+
+	if err := enc.Encode(exportHeader{Schema: SchemaVersion, Kind: "header",
+		Runs: len(runs), Decisions: len(decisions), Dropped: dropped}); err != nil {
+		return err
+	}
+	for _, r := range runs {
+		if err := enc.Encode(exportRun{Kind: "run", Engine: r.engine,
+			Scheduler: r.scheduler, Tasks: r.tasks, Makespan: r.makespan,
+			Error: r.err}); err != nil {
+			return err
+		}
+	}
+	for _, d := range decisions {
+		if err := enc.Encode(exportDecision{Kind: "decision",
+			Decision: d.Kind.String(), At: jfloat(d.At), Seq: d.Seq, Task: d.Task,
+			Worker: d.Worker, Mem: d.Mem, Arch: d.Arch,
+			N: d.N, A: jfloat(d.A), B: jfloat(d.B), C: jfloat(d.C)}); err != nil {
+			return err
+		}
+	}
+	for _, f := range p.Snapshot().Families {
+		if len(f.Metrics) == 0 {
+			continue
+		}
+		if err := enc.Encode(exportFamily{Kind: "family", FamilySnapshot: f}); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

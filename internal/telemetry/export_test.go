@@ -1,0 +1,147 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"multiprio/internal/obs"
+	"multiprio/internal/platform"
+	"multiprio/internal/runtime"
+)
+
+// testMachine is the shared tiny platform of the telemetry tests.
+func testMachine(t *testing.T) *platform.Machine {
+	t.Helper()
+	return platform.CPUOnly(2)
+}
+
+// TestExportJSONL checks the export's line discipline: schema-versioned
+// header first, then runs, captured decisions, and metric families —
+// every line valid JSON with a "kind" discriminator.
+func TestExportJSONL(t *testing.T) {
+	p := NewProbe(WithDecisionCapture(2))
+	p.RunStart(runtime.RunInfo{Tasks: 5, Scheduler: "multiprio", Engine: "sim"})
+	p.Decision(obs.Decision{Kind: obs.PopSelect, At: 1, Task: 7, Worker: 1, Mem: 0, Arch: 0})
+	p.Decision(obs.Decision{Kind: obs.TaskDone, At: 2, A: 1, B: 0, Task: 7, Worker: 1})
+	p.Decision(obs.Decision{Kind: obs.TaskDone, At: 3, A: 2, B: 1, Task: 8, Worker: 0}) // over capture cap
+	p.RunEnd(&runtime.Result{Makespan: 3}, nil)
+
+	var buf bytes.Buffer
+	if err := ExportJSONL(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+
+	sc := bufio.NewScanner(&buf)
+	var kinds []string
+	var header exportHeader
+	for sc.Scan() {
+		var probe struct {
+			Kind   string `json:"kind"`
+			Schema string `json:"schema"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &probe); err != nil {
+			t.Fatalf("invalid JSON line %q: %v", sc.Text(), err)
+		}
+		if len(kinds) == 0 {
+			if err := json.Unmarshal(sc.Bytes(), &header); err != nil {
+				t.Fatal(err)
+			}
+		}
+		kinds = append(kinds, probe.Kind)
+	}
+	if kinds[0] != "header" || header.Schema != SchemaVersion {
+		t.Fatalf("first line = %v / schema %q", kinds[0], header.Schema)
+	}
+	if header.Runs != 1 || header.Decisions != 2 || header.Dropped != 1 {
+		t.Errorf("header = %+v, want 1 run, 2 decisions, 1 dropped", header)
+	}
+	var runs, decisions, families int
+	for _, k := range kinds[1:] {
+		switch k {
+		case "run":
+			runs++
+		case "decision":
+			decisions++
+		case "family":
+			families++
+		default:
+			t.Errorf("unexpected line kind %q", k)
+		}
+	}
+	if runs != 1 || decisions != 2 || families == 0 {
+		t.Errorf("lines = %d runs, %d decisions, %d families", runs, decisions, families)
+	}
+
+	// The run line must carry the completed lifecycle.
+	var buf2 bytes.Buffer
+	if err := ExportJSONL(&buf2, p); err != nil {
+		t.Fatal(err)
+	}
+	var runLine exportRun
+	for _, line := range strings.Split(buf2.String(), "\n") {
+		if strings.Contains(line, `"kind":"run"`) {
+			if err := json.Unmarshal([]byte(line), &runLine); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if runLine.Scheduler != "multiprio" || runLine.Engine != "sim" || runLine.Makespan != 3 || runLine.Tasks != 5 {
+		t.Errorf("run line = %+v", runLine)
+	}
+
+	// Export is repeatable and deterministic for an idle probe.
+	var buf3 bytes.Buffer
+	if err := ExportJSONL(&buf3, p); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf2.Bytes(), buf3.Bytes()) {
+		t.Error("repeated export differs")
+	}
+}
+
+// TestExportNonFiniteScalars: decision scalars legitimately carry +Inf
+// (single-eligible-architecture PushBest); the export must encode them
+// as strings instead of failing the whole file mid-write.
+func TestExportNonFiniteScalars(t *testing.T) {
+	p := NewProbe(WithDecisionCapture(10))
+	p.Decision(obs.Decision{Kind: obs.PushBest, At: 1, Task: 1, B: math.Inf(1)})
+	var buf bytes.Buffer
+	if err := ExportJSONL(&buf, p); err != nil {
+		t.Fatalf("export with +Inf scalar: %v", err)
+	}
+	sc := bufio.NewScanner(strings.NewReader(buf.String()))
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("line %q not valid JSON: %v", sc.Text(), err)
+		}
+		if m["kind"] == "decision" && m["b"] != "+Inf" {
+			t.Errorf("b = %v, want \"+Inf\"", m["b"])
+		}
+	}
+}
+
+// TestExportWithoutCapture: a probe without decision capture still
+// exports a header and metric families.
+func TestExportWithoutCapture(t *testing.T) {
+	p := NewProbe()
+	p.Decision(obs.Decision{Kind: obs.TaskDone, At: 1, A: 1, B: 0})
+	var buf bytes.Buffer
+	if err := ExportJSONL(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	first, _, _ := strings.Cut(buf.String(), "\n")
+	if !strings.Contains(first, SchemaVersion) {
+		t.Fatalf("header missing schema: %q", first)
+	}
+	if !strings.Contains(buf.String(), `"kind":"family"`) {
+		t.Error("no family lines exported")
+	}
+	if strings.Contains(buf.String(), `"kind":"decision"`) {
+		t.Error("decision lines exported without capture enabled")
+	}
+}
