@@ -20,6 +20,7 @@ import (
 	"testing"
 
 	"multiprio/internal/apps/dense"
+	"multiprio/internal/apps/randdag"
 	"multiprio/internal/core"
 	"multiprio/internal/heap"
 	"multiprio/internal/obs"
@@ -319,4 +320,57 @@ func BenchmarkSTFSubmit(b *testing.B) {
 			b.Fatal("empty graph")
 		}
 	}
+}
+
+// scaleParams is the 10^5-task random DAG of the scaling study
+// (`multiprio-bench -exp scale`): 2000 layers of 50 tasks.
+func scaleParams(m *platform.Machine) randdag.Params {
+	return randdag.Params{Layers: 2000, Width: 50, EdgeProb: 0.1, Machine: m, Seed: 42}
+}
+
+// BenchmarkSubmitBatch1e5 measures graph construction alone at the
+// scaling study's 10^5-task size: arena-backed SubmitBatch plus
+// epoch-deduplicated dependency inference. Reports build throughput as
+// tasks/s (gated downward by benchjson with -throughput-threshold).
+func BenchmarkSubmitBatch1e5(b *testing.B) {
+	m := platform.IntelV100(platform.Config{})
+	p := scaleParams(m)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var tasks int
+	for i := 0; i < b.N; i++ {
+		g := randdag.Build(p)
+		if len(g.Tasks) == 0 {
+			b.Fatal("empty graph")
+		}
+		tasks += len(g.Tasks)
+	}
+	b.ReportMetric(float64(tasks)/b.Elapsed().Seconds(), "tasks/s")
+}
+
+// BenchmarkSimThroughput1e5 is the million-task hot path's regression
+// anchor: the full simulator (calendar event queue, arena task blocks,
+// intrusive-LRU memory manager) executing the 10^5-task random DAG
+// under the eager policy, so engine mechanics dominate over scheduling
+// heuristics. Reports end-to-end execution throughput as tasks/s.
+func BenchmarkSimThroughput1e5(b *testing.B) {
+	m := platform.IntelV100(platform.Config{})
+	g := randdag.Build(scaleParams(m))
+	b.ReportAllocs()
+	b.ResetTimer()
+	var tasks int
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		g.ResetRun()
+		b.StartTimer()
+		res, err := sim.Run(m, g, eager.New(), sim.Options{Seed: 7})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Makespan <= 0 {
+			b.Fatal("degenerate makespan")
+		}
+		tasks += len(g.Tasks)
+	}
+	b.ReportMetric(float64(tasks)/b.Elapsed().Seconds(), "tasks/s")
 }

@@ -15,6 +15,14 @@
 // ns/op it is machine-independent, so a baseline committed from a
 // developer machine stays meaningful on any runner. Wall-clock numbers
 // are still recorded and reported for human inspection.
+//
+// Benchmarks that report a custom "tasks/s" metric (b.ReportMetric) are
+// additionally gated on throughput: aggregation takes the maximum
+// across -count runs (higher is better) and the gate fails when tasks/s
+// dropped by more than -throughput-threshold (default 0.60 — loose,
+// because wall-clock throughput varies across runners far more than
+// allocation counts; the gate exists to catch order-of-magnitude
+// collapses of the million-task hot path, not CPU jitter).
 package main
 
 import (
@@ -37,6 +45,11 @@ type Entry struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
 	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	// TasksPerSec is the custom throughput metric the bench suite
+	// reports via b.ReportMetric(..., "tasks/s"). Higher is better, so
+	// aggregation takes the maximum across -count runs and the gate
+	// fires on drops rather than rises.
+	TasksPerSec float64 `json:"tasks_per_sec,omitempty"`
 }
 
 // Report is the BENCH_sweep.json document.
@@ -55,7 +68,8 @@ func main() {
 	out := flag.String("o", "", "write the JSON report to this file (default stdout)")
 	baseline := flag.String("baseline", "", "compare against this previously generated report")
 	threshold := flag.Float64("threshold", 0.30, "maximum allowed fractional regression per gated metric")
-	gate := flag.String("gate", "allocs", "comma-separated metrics that fail the build on regression: ns, bytes, allocs")
+	tputThreshold := flag.Float64("throughput-threshold", 0.60, "maximum allowed fractional tasks/s drop before the throughput gate fails")
+	gate := flag.String("gate", "allocs,throughput", "comma-separated metrics that fail the build on regression: ns, bytes, allocs, throughput")
 	flag.Parse()
 
 	var in io.Reader = os.Stdin
@@ -91,7 +105,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if !compare(os.Stderr, base, rep, *threshold, parseGate(*gate)) {
+		if !compare(os.Stderr, base, rep, *threshold, *tputThreshold, parseGate(*gate)) {
 			os.Exit(1)
 		}
 	}
@@ -140,7 +154,7 @@ func parse(r io.Reader) (*Report, error) {
 		}
 		e := acc[m[1]]
 		if e == nil {
-			e = &Entry{Name: m[1], NsPerOp: ns, BytesPerOp: -1, AllocsPerOp: -1}
+			e = &Entry{Name: m[1], NsPerOp: ns, BytesPerOp: -1, AllocsPerOp: -1, TasksPerSec: -1}
 			acc[m[1]] = e
 			order = append(order, m[1])
 		}
@@ -155,6 +169,9 @@ func parse(r io.Reader) (*Report, error) {
 		if v, ok := metric(rest, "allocs/op"); ok && (e.AllocsPerOp < 0 || v < e.AllocsPerOp) {
 			e.AllocsPerOp = v
 		}
+		if v, ok := metric(rest, "tasks/s"); ok && v > e.TasksPerSec {
+			e.TasksPerSec = v
+		}
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
@@ -167,6 +184,9 @@ func parse(r io.Reader) (*Report, error) {
 		}
 		if e.AllocsPerOp < 0 {
 			e.AllocsPerOp = 0
+		}
+		if e.TasksPerSec < 0 {
+			e.TasksPerSec = 0
 		}
 		rep.Benchmarks = append(rep.Benchmarks, *e)
 	}
@@ -210,30 +230,36 @@ func parseGate(s string) map[string]bool {
 }
 
 // compare prints a per-benchmark delta table and reports whether every
-// gated metric stayed within the threshold. Benchmarks present on only
-// one side are reported but never fail the gate (the suite may grow).
-func compare(w io.Writer, base, cur *Report, threshold float64, gates map[string]bool) bool {
+// gated metric stayed within the threshold. Cost metrics (ns, bytes,
+// allocs) regress upward; tasks/s regresses downward, against its own
+// looser threshold (wall-clock throughput varies more across runners
+// than allocation counts do). Benchmarks present on only one side are
+// reported but never fail the gate (the suite may grow).
+func compare(w io.Writer, base, cur *Report, threshold, tputThreshold float64, gates map[string]bool) bool {
 	baseBy := map[string]Entry{}
 	for _, e := range base.Benchmarks {
 		baseBy[e.Name] = e
 	}
 	ok := true
-	fmt.Fprintf(w, "%-28s %14s %14s %14s\n", "benchmark", "ns/op Δ", "B/op Δ", "allocs/op Δ")
+	fmt.Fprintf(w, "%-28s %14s %14s %14s %14s\n", "benchmark", "ns/op Δ", "B/op Δ", "allocs/op Δ", "tasks/s Δ")
 	for _, e := range cur.Benchmarks {
 		b, found := baseBy[e.Name]
 		if !found {
-			fmt.Fprintf(w, "%-28s %14s %14s %14s\n", e.Name, "new", "new", "new")
+			fmt.Fprintf(w, "%-28s %14s %14s %14s %14s\n", e.Name, "new", "new", "new", "new")
 			continue
 		}
 		delete(baseBy, e.Name)
-		cells := make([]string, 0, 3)
+		cells := make([]string, 0, 4)
 		for _, mt := range []struct {
 			key       string
 			cur, base float64
+			inverted  bool // higher is better; regression is a drop
+			limit     float64
 		}{
-			{"ns", e.NsPerOp, b.NsPerOp},
-			{"bytes", e.BytesPerOp, b.BytesPerOp},
-			{"allocs", e.AllocsPerOp, b.AllocsPerOp},
+			{"ns", e.NsPerOp, b.NsPerOp, false, threshold},
+			{"bytes", e.BytesPerOp, b.BytesPerOp, false, threshold},
+			{"allocs", e.AllocsPerOp, b.AllocsPerOp, false, threshold},
+			{"throughput", e.TasksPerSec, b.TasksPerSec, true, tputThreshold},
 		} {
 			if mt.base <= 0 {
 				cells = append(cells, "-")
@@ -241,7 +267,11 @@ func compare(w io.Writer, base, cur *Report, threshold float64, gates map[string
 			}
 			ratio := mt.cur/mt.base - 1
 			cell := fmt.Sprintf("%+.1f%%", 100*ratio)
-			if ratio > threshold {
+			regressed := ratio > mt.limit
+			if mt.inverted {
+				regressed = -ratio > mt.limit
+			}
+			if regressed {
 				if gates[mt.key] {
 					cell += " FAIL"
 					ok = false
@@ -251,10 +281,10 @@ func compare(w io.Writer, base, cur *Report, threshold float64, gates map[string
 			}
 			cells = append(cells, cell)
 		}
-		fmt.Fprintf(w, "%-28s %14s %14s %14s\n", e.Name, cells[0], cells[1], cells[2])
+		fmt.Fprintf(w, "%-28s %14s %14s %14s %14s\n", e.Name, cells[0], cells[1], cells[2], cells[3])
 	}
 	for name := range baseBy {
-		fmt.Fprintf(w, "%-28s %14s %14s %14s\n", name, "gone", "gone", "gone")
+		fmt.Fprintf(w, "%-28s %14s %14s %14s %14s\n", name, "gone", "gone", "gone", "gone")
 	}
 	if !ok {
 		fmt.Fprintf(w, "benchjson: regression beyond %.0f%% on gated metrics\n", 100*threshold)

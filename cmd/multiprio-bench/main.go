@@ -288,10 +288,18 @@ func run(exp string, scale experiments.Scale, gantt bool) error {
 			r.Print(out)
 			return nil
 		},
+		"scale": func() error {
+			r, err := experiments.RunScale(scale, prog)
+			if err != nil {
+				return err
+			}
+			r.Print(out)
+			return nil
+		},
 	}
 
 	if exp == "all" {
-		for _, name := range []string{"table2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "ablation", "hier", "energy", "stress", "overhead", "faults", "stragglers", "cluster", "stream", "telemetry"} {
+		for _, name := range []string{"table2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "ablation", "hier", "energy", "stress", "overhead", "faults", "stragglers", "cluster", "stream", "telemetry", "scale"} {
 			fmt.Fprintf(out, "\n========== %s ==========\n", name)
 			if err := runs[name](); err != nil {
 				return fmt.Errorf("%s: %w", name, err)

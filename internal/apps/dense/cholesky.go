@@ -18,54 +18,57 @@ type TileCoord struct {
 // then SYRK/GEMM updates of the trailing submatrix.
 func Cholesky(p Params) *runtime.Graph {
 	p.validate("potrf")
-	g := runtime.NewGraph()
+	n := CholeskyTaskCount(p.Tiles)
+	g := runtime.NewGraphWithCapacity(n, p.Tiles*p.Tiles)
 	a := TileMatrix(g, "A", p.Tiles, p.TileSize)
 	var payload *choleskyPayload
 	if p.Kernels {
 		payload = newCholeskyPayload(g, a, p)
 	}
 
+	specs := make([]runtime.TaskSpec, 0, n)
 	for k := 0; k < p.Tiles; k++ {
-		potrf := newTask(p, "potrf", []runtime.Access{
+		potrf := newSpec(p, "potrf", []runtime.Access{
 			{Handle: a[k][k], Mode: runtime.RW},
 		}, TileCoord{K: k, I: k, J: k})
 		if payload != nil {
-			payload.bindPotrf(potrf, k)
+			potrf.Run = payload.runPotrf(k)
 		}
-		g.Submit(potrf)
+		specs = append(specs, potrf)
 
 		for i := k + 1; i < p.Tiles; i++ {
-			trsm := newTask(p, "trsm", []runtime.Access{
+			trsm := newSpec(p, "trsm", []runtime.Access{
 				{Handle: a[k][k], Mode: runtime.R},
 				{Handle: a[i][k], Mode: runtime.RW},
 			}, TileCoord{K: k, I: i, J: k})
 			if payload != nil {
-				payload.bindTrsm(trsm, k, i)
+				trsm.Run = payload.runTrsm(k, i)
 			}
-			g.Submit(trsm)
+			specs = append(specs, trsm)
 		}
 		for i := k + 1; i < p.Tiles; i++ {
-			syrk := newTask(p, "syrk", []runtime.Access{
+			syrk := newSpec(p, "syrk", []runtime.Access{
 				{Handle: a[i][k], Mode: runtime.R},
 				{Handle: a[i][i], Mode: runtime.RW},
 			}, TileCoord{K: k, I: i, J: i})
 			if payload != nil {
-				payload.bindSyrk(syrk, k, i)
+				syrk.Run = payload.runSyrk(k, i)
 			}
-			g.Submit(syrk)
+			specs = append(specs, syrk)
 			for j := k + 1; j < i; j++ {
-				gemm := newTask(p, "gemm", []runtime.Access{
+				gemm := newSpec(p, "gemm", []runtime.Access{
 					{Handle: a[i][k], Mode: runtime.R},
 					{Handle: a[j][k], Mode: runtime.R},
 					{Handle: a[i][j], Mode: runtime.RW},
 				}, TileCoord{K: k, I: i, J: j})
 				if payload != nil {
-					payload.bindGemm(gemm, k, i, j)
+					gemm.Run = payload.runGemm(k, i, j)
 				}
-				g.Submit(gemm)
+				specs = append(specs, gemm)
 			}
 		}
 	}
+	g.SubmitBatch(specs)
 	if p.UserPriorities {
 		AssignBottomLevelPriorities(g)
 	}

@@ -46,8 +46,9 @@ func HierarchicalCholesky(p HierParams) *runtime.Graph {
 	if p.Machine == nil {
 		panic("dense: nil machine")
 	}
-	g := runtime.NewGraph()
 	nb, st, b := p.Blocks, p.SubTiles, p.TileSize
+	n := HierTaskCount(nb, st)
+	g := runtime.NewGraphWithCapacity(n, nb*nb*st*st)
 	coarse := st * b
 	fineP := Params{Tiles: st, TileSize: b, Machine: p.Machine}
 	coarseP := Params{Tiles: nb, TileSize: coarse, Machine: p.Machine}
@@ -79,26 +80,28 @@ func HierarchicalCholesky(p HierParams) *runtime.Graph {
 		return acc
 	}
 
+	specs := make([]runtime.TaskSpec, 0, n)
+
 	// finePotrf expands POTRF(K) into the fine tiled Cholesky of block
 	// (K,K) — the hierarchical "bubble".
 	finePotrf := func(K int) {
 		for k := 0; k < st; k++ {
-			g.Submit(newTask(fineP, "potrf",
+			specs = append(specs, newSpec(fineP, "potrf",
 				[]runtime.Access{{Handle: h(K, K, k, k), Mode: runtime.RW}},
 				TileCoord{K: K, I: k, J: k}))
 			for i := k + 1; i < st; i++ {
-				g.Submit(newTask(fineP, "trsm", []runtime.Access{
+				specs = append(specs, newSpec(fineP, "trsm", []runtime.Access{
 					{Handle: h(K, K, k, k), Mode: runtime.R},
 					{Handle: h(K, K, i, k), Mode: runtime.RW},
 				}, TileCoord{K: K, I: i, J: k}))
 			}
 			for i := k + 1; i < st; i++ {
-				g.Submit(newTask(fineP, "syrk", []runtime.Access{
+				specs = append(specs, newSpec(fineP, "syrk", []runtime.Access{
 					{Handle: h(K, K, i, k), Mode: runtime.R},
 					{Handle: h(K, K, i, i), Mode: runtime.RW},
 				}, TileCoord{K: K, I: i, J: i}))
 				for j := k + 1; j < i; j++ {
-					g.Submit(newTask(fineP, "gemm", []runtime.Access{
+					specs = append(specs, newSpec(fineP, "gemm", []runtime.Access{
 						{Handle: h(K, K, i, k), Mode: runtime.R},
 						{Handle: h(K, K, j, k), Mode: runtime.R},
 						{Handle: h(K, K, i, j), Mode: runtime.RW},
@@ -113,14 +116,14 @@ func HierarchicalCholesky(p HierParams) *runtime.Graph {
 	fineTrsm := func(I, K int) {
 		for k := 0; k < st; k++ {
 			for i := 0; i < st; i++ {
-				g.Submit(newTask(fineP, "trsm", []runtime.Access{
+				specs = append(specs, newSpec(fineP, "trsm", []runtime.Access{
 					{Handle: h(K, K, k, k), Mode: runtime.R},
 					{Handle: h(I, K, i, k), Mode: runtime.RW},
 				}, TileCoord{K: K, I: i, J: k}))
 			}
 			for i := 0; i < st; i++ {
 				for j := k + 1; j < st; j++ {
-					g.Submit(newTask(fineP, "gemm", []runtime.Access{
+					specs = append(specs, newSpec(fineP, "gemm", []runtime.Access{
 						{Handle: h(I, K, i, k), Mode: runtime.R},
 						{Handle: h(K, K, j, k), Mode: runtime.R},
 						{Handle: h(I, K, i, j), Mode: runtime.RW},
@@ -139,17 +142,18 @@ func HierarchicalCholesky(p HierParams) *runtime.Graph {
 			// Coarse SYRK over the whole diagonal block.
 			acc := blockAccesses(I, K, runtime.R, nil)
 			acc = blockAccesses(I, I, runtime.RW, acc)
-			g.Submit(newTask(coarseP, "syrk", acc, TileCoord{K: K, I: I, J: I}))
+			specs = append(specs, newSpec(coarseP, "syrk", acc, TileCoord{K: K, I: I, J: I}))
 			for J := K + 1; J < I; J++ {
 				// Coarse GEMM over the whole off-diagonal block: the
 				// large-granularity accelerator food.
 				acc := blockAccesses(I, K, runtime.R, nil)
 				acc = blockAccesses(J, K, runtime.R, acc)
 				acc = blockAccesses(I, J, runtime.RW, acc)
-				g.Submit(newTask(coarseP, "gemm", acc, TileCoord{K: K, I: I, J: J}))
+				specs = append(specs, newSpec(coarseP, "gemm", acc, TileCoord{K: K, I: I, J: J}))
 			}
 		}
 	}
+	g.SubmitBatch(specs)
 	if p.UserPriorities {
 		AssignBottomLevelPriorities(g)
 	}

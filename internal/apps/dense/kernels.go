@@ -55,32 +55,32 @@ func (pl *choleskyPayload) FillSPD(seed int64) {
 	}
 }
 
-func (pl *choleskyPayload) bindPotrf(t *runtime.Task, k int) {
+func (pl *choleskyPayload) runPotrf(k int) func(runtime.WorkerInfo) {
 	a := pl.tiles[k][k]
 	b := pl.b
-	t.Run = func(w runtime.WorkerInfo) {
+	return func(w runtime.WorkerInfo) {
 		if err := potrfKernel(a, b); err != nil {
 			panic(err)
 		}
 	}
 }
 
-func (pl *choleskyPayload) bindTrsm(t *runtime.Task, k, i int) {
+func (pl *choleskyPayload) runTrsm(k, i int) func(runtime.WorkerInfo) {
 	l, x := pl.tiles[k][k], pl.tiles[i][k]
 	b := pl.b
-	t.Run = func(w runtime.WorkerInfo) { trsmKernel(l, x, b) }
+	return func(w runtime.WorkerInfo) { trsmKernel(l, x, b) }
 }
 
-func (pl *choleskyPayload) bindSyrk(t *runtime.Task, k, i int) {
+func (pl *choleskyPayload) runSyrk(k, i int) func(runtime.WorkerInfo) {
 	a, c := pl.tiles[i][k], pl.tiles[i][i]
 	b := pl.b
-	t.Run = func(w runtime.WorkerInfo) { syrkKernel(a, c, b) }
+	return func(w runtime.WorkerInfo) { syrkKernel(a, c, b) }
 }
 
-func (pl *choleskyPayload) bindGemm(t *runtime.Task, k, i, j int) {
+func (pl *choleskyPayload) runGemm(k, i, j int) func(runtime.WorkerInfo) {
 	a, bm, c := pl.tiles[i][k], pl.tiles[j][k], pl.tiles[i][j]
 	b := pl.b
-	t.Run = func(w runtime.WorkerInfo) { gemmKernel(a, bm, c, b) }
+	return func(w runtime.WorkerInfo) { gemmKernel(a, bm, c, b) }
 }
 
 // potrfKernel computes the in-place lower Cholesky factor of a b×b tile.

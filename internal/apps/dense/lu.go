@@ -10,31 +10,33 @@ import "multiprio/internal/runtime"
 // memory traffic.
 func LU(p Params) *runtime.Graph {
 	p.validate("getrf")
-	g := runtime.NewGraph()
+	n := LUTaskCount(p.Tiles)
+	g := runtime.NewGraphWithCapacity(n, p.Tiles*p.Tiles)
 	a := TileMatrix(g, "A", p.Tiles, p.TileSize)
 
+	specs := make([]runtime.TaskSpec, 0, n)
 	for k := 0; k < p.Tiles; k++ {
-		g.Submit(newTask(p, "getrf", []runtime.Access{
+		specs = append(specs, newSpec(p, "getrf", []runtime.Access{
 			{Handle: a[k][k], Mode: runtime.RW},
 		}, TileCoord{K: k, I: k, J: k}))
 
 		for i := k + 1; i < p.Tiles; i++ {
 			// L panel: solve below the diagonal.
-			g.Submit(newTask(p, "trsm", []runtime.Access{
+			specs = append(specs, newSpec(p, "trsm", []runtime.Access{
 				{Handle: a[k][k], Mode: runtime.R},
 				{Handle: a[i][k], Mode: runtime.RW},
 			}, TileCoord{K: k, I: i, J: k}))
 		}
 		for j := k + 1; j < p.Tiles; j++ {
 			// U panel: solve right of the diagonal.
-			g.Submit(newTask(p, "trsm", []runtime.Access{
+			specs = append(specs, newSpec(p, "trsm", []runtime.Access{
 				{Handle: a[k][k], Mode: runtime.R},
 				{Handle: a[k][j], Mode: runtime.RW},
 			}, TileCoord{K: k, I: k, J: j}))
 		}
 		for i := k + 1; i < p.Tiles; i++ {
 			for j := k + 1; j < p.Tiles; j++ {
-				g.Submit(newTask(p, "gemm", []runtime.Access{
+				specs = append(specs, newSpec(p, "gemm", []runtime.Access{
 					{Handle: a[i][k], Mode: runtime.R},
 					{Handle: a[k][j], Mode: runtime.R},
 					{Handle: a[i][j], Mode: runtime.RW},
@@ -42,6 +44,7 @@ func LU(p Params) *runtime.Graph {
 			}
 		}
 	}
+	g.SubmitBatch(specs)
 	if p.UserPriorities {
 		AssignBottomLevelPriorities(g)
 	}

@@ -130,10 +130,10 @@ func Cost(m *platform.Machine, kind string, tileSize int) []float64 {
 // tileBytes is the payload size of one b×b float64 tile.
 func tileBytes(b int) int64 { return int64(b) * int64(b) * 8 }
 
-// newTask assembles a dense kernel task.
-func newTask(p Params, kind string, accesses []runtime.Access, tag any) *runtime.Task {
+// newSpec assembles a dense kernel task spec for batch submission.
+func newSpec(p Params, kind string, accesses []runtime.Access, tag any) runtime.TaskSpec {
 	b := float64(p.TileSize)
-	return &runtime.Task{
+	return runtime.TaskSpec{
 		Kind:      kind,
 		Footprint: uint64(p.TileSize),
 		Flops:     flopCount(kind, b),

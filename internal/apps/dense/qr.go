@@ -11,31 +11,33 @@ import "multiprio/internal/runtime"
 // Extra T×T handles store the per-tile triangular reflector factors.
 func QR(p Params) *runtime.Graph {
 	p.validate("geqrf")
-	g := runtime.NewGraph()
+	n := QRTaskCount(p.Tiles)
+	g := runtime.NewGraphWithCapacity(n, 2*p.Tiles*p.Tiles)
 	a := TileMatrix(g, "A", p.Tiles, p.TileSize)
 	tf := TileMatrix(g, "T", p.Tiles, p.TileSize)
 
+	specs := make([]runtime.TaskSpec, 0, n)
 	for k := 0; k < p.Tiles; k++ {
-		g.Submit(newTask(p, "geqrt", []runtime.Access{
+		specs = append(specs, newSpec(p, "geqrt", []runtime.Access{
 			{Handle: a[k][k], Mode: runtime.RW},
 			{Handle: tf[k][k], Mode: runtime.W},
 		}, TileCoord{K: k, I: k, J: k}))
 
 		for j := k + 1; j < p.Tiles; j++ {
-			g.Submit(newTask(p, "unmqr", []runtime.Access{
+			specs = append(specs, newSpec(p, "unmqr", []runtime.Access{
 				{Handle: a[k][k], Mode: runtime.R},
 				{Handle: tf[k][k], Mode: runtime.R},
 				{Handle: a[k][j], Mode: runtime.RW},
 			}, TileCoord{K: k, I: k, J: j}))
 		}
 		for i := k + 1; i < p.Tiles; i++ {
-			g.Submit(newTask(p, "tsqrt", []runtime.Access{
+			specs = append(specs, newSpec(p, "tsqrt", []runtime.Access{
 				{Handle: a[k][k], Mode: runtime.RW},
 				{Handle: a[i][k], Mode: runtime.RW},
 				{Handle: tf[i][k], Mode: runtime.W},
 			}, TileCoord{K: k, I: i, J: k}))
 			for j := k + 1; j < p.Tiles; j++ {
-				g.Submit(newTask(p, "tsmqr", []runtime.Access{
+				specs = append(specs, newSpec(p, "tsmqr", []runtime.Access{
 					{Handle: a[i][k], Mode: runtime.R},
 					{Handle: tf[i][k], Mode: runtime.R},
 					{Handle: a[k][j], Mode: runtime.RW},
@@ -44,6 +46,7 @@ func QR(p Params) *runtime.Graph {
 			}
 		}
 	}
+	g.SubmitBatch(specs)
 	if p.UserPriorities {
 		AssignBottomLevelPriorities(g)
 	}

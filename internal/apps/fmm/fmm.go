@@ -280,6 +280,7 @@ func Build(p Params) *runtime.Graph {
 // octree.
 func BuildFromTree(p Params, t *Tree) *runtime.Graph {
 	g := runtime.NewGraph()
+	var specs []runtime.TaskSpec
 	k := p.order()
 	kk := float64(k * k)
 	kkk := kk * float64(k)
@@ -347,10 +348,13 @@ func BuildFromTree(p Params, t *Tree) *runtime.Graph {
 		return out
 	}
 
+	// Tasks are collected as specs and submitted in one batch at the
+	// end; the spec order below is exactly the former Submit order, so
+	// the inferred DAG is identical.
 	// P2M per leaf group.
 	for gi := range gr.groups[leafLevel] {
 		fl := float64(groupParticles[gi]) * kk * 4
-		g.Submit(&runtime.Task{
+		specs = append(specs, runtime.TaskSpec{
 			Kind: "p2m", Footprint: uint64(k), Flops: fl, Cost: cpuOnly(fl),
 			Accesses: []runtime.Access{
 				{Handle: partIn[gi], Mode: runtime.R},
@@ -392,7 +396,7 @@ func BuildFromTree(p Params, t *Tree) *runtime.Graph {
 			acc = append(acc, runtime.Access{Handle: partIn[ng], Mode: runtime.R})
 		}
 		fl := pairs * flopPerPair
-		g.Submit(&runtime.Task{
+		specs = append(specs, runtime.TaskSpec{
 			Kind: "p2p", Footprint: uint64(p.groupSize()), Flops: fl,
 			Cost: both(fl, p2pCPUEff, p2pGPUEff), Accesses: acc, Tag: gi,
 		})
@@ -418,7 +422,7 @@ func BuildFromTree(p Params, t *Tree) *runtime.Graph {
 				acc = append(acc, runtime.Access{Handle: mpole[l+1][cg], Mode: runtime.R})
 			}
 			fl := float64(len(children)) * kkk * 2
-			g.Submit(&runtime.Task{
+			specs = append(specs, runtime.TaskSpec{
 				Kind: "m2m", Footprint: uint64(k), Flops: fl, Cost: cpuOnly(fl),
 				Accesses: acc, Tag: gi,
 			})
@@ -444,7 +448,7 @@ func BuildFromTree(p Params, t *Tree) *runtime.Graph {
 			fl := float64(nInter) * kkk * 8
 			c := make([]float64, len(p.Machine.Archs))
 			c[platform.ArchCPU] = fl / (cpuPeak * m2lCPUEff)
-			g.Submit(&runtime.Task{
+			specs = append(specs, runtime.TaskSpec{
 				Kind: "m2l", Footprint: uint64(k), Flops: fl,
 				Cost: c, Accesses: acc, Tag: gi,
 			})
@@ -462,7 +466,7 @@ func BuildFromTree(p Params, t *Tree) *runtime.Graph {
 				acc = append(acc, runtime.Access{Handle: local[l-1][pg], Mode: runtime.R})
 			}
 			fl := float64(len(cells)) * kkk * 2
-			g.Submit(&runtime.Task{
+			specs = append(specs, runtime.TaskSpec{
 				Kind: "l2l", Footprint: uint64(k), Flops: fl, Cost: cpuOnly(fl),
 				Accesses: acc, Tag: gi,
 			})
@@ -471,7 +475,7 @@ func BuildFromTree(p Params, t *Tree) *runtime.Graph {
 	// L2P per leaf group closes the far-field pass.
 	for gi := range gr.groups[leafLevel] {
 		flL2P := float64(groupParticles[gi]) * kk * 4
-		g.Submit(&runtime.Task{
+		specs = append(specs, runtime.TaskSpec{
 			Kind: "l2p", Footprint: uint64(k), Flops: flL2P, Cost: cpuOnly(flL2P),
 			Accesses: []runtime.Access{
 				{Handle: local[leafLevel][gi], Mode: runtime.R},
@@ -480,6 +484,7 @@ func BuildFromTree(p Params, t *Tree) *runtime.Graph {
 			Tag: gi,
 		})
 	}
+	g.SubmitBatch(specs)
 	return g
 }
 

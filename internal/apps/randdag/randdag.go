@@ -68,7 +68,12 @@ func Build(p Params) *runtime.Graph {
 	}
 	p = p.defaults()
 	rng := rand.New(rand.NewSource(p.Seed))
-	g := runtime.NewGraph()
+	n := p.Layers * p.Width
+	nh := n
+	if p.CommuteShare > 0 {
+		nh++
+	}
+	g := runtime.NewGraphWithCapacity(n, nh)
 
 	// Commuting tasks all update one shared accumulator; created lazily
 	// so CommuteShare == 0 leaves the random stream of existing seeds
@@ -88,6 +93,11 @@ func Build(p Params) *runtime.Graph {
 		}
 	}
 
+	// Specs are generated up front (same RNG draw order as the former
+	// per-task Submit loop) and submitted in one batch: for million-task
+	// graphs this is the difference between one allocation per task and
+	// a handful of arena chunks.
+	specs := make([]runtime.TaskSpec, 0, n)
 	spreadLog := math.Log(p.GranularitySpread)
 	for l := 0; l < p.Layers; l++ {
 		for i := 0; i < p.Width; i++ {
@@ -113,7 +123,7 @@ func Build(p Params) *runtime.Graph {
 			if accum != nil && rng.Float64() < p.CommuteShare {
 				acc = append(acc, runtime.Access{Handle: accum, Mode: runtime.Commute})
 			}
-			g.Submit(&runtime.Task{
+			specs = append(specs, runtime.TaskSpec{
 				Kind:      kind,
 				Footprint: uint64(10 * math.Round(cpu*1e4)), // bucketed by size
 				Flops:     cpu * 1e9,
@@ -123,5 +133,6 @@ func Build(p Params) *runtime.Graph {
 			})
 		}
 	}
+	g.SubmitBatch(specs)
 	return g
 }

@@ -85,9 +85,10 @@ func BuildFromTree(t *Tree, p Params) *runtime.Graph {
 		}
 	}
 
-	// Submit fronts in postorder (children first) — the order QR_MUMPS
-	// traverses the tree, and the order that makes the STF dependencies
-	// land correctly.
+	// Collect front tasks in postorder (children first) — the order
+	// QR_MUMPS traverses the tree, and the order that makes the STF
+	// dependencies land correctly — then submit them in one batch.
+	var specs []runtime.TaskSpec
 	submitted := make([]bool, len(t.Fronts))
 	var submit func(fi int)
 	submit = func(fi int) {
@@ -99,11 +100,12 @@ func BuildFromTree(t *Tree, p Params) *runtime.Graph {
 			submit(c)
 		}
 		submitted[fi] = true
-		submitFront(g, t, fi, tiles, cb, p)
+		specs = frontSpecs(specs, t, fi, tiles, cb, p)
 	}
 	for _, r := range t.Roots {
 		submit(r)
 	}
+	g.SubmitBatch(specs)
 	if p.UserPriorities {
 		assignBottomLevels(g)
 	}
@@ -117,10 +119,11 @@ func gridOf(f *Front, p Params) (rt, ct int) {
 	return rt, ct
 }
 
-// submitFront emits activate, assemble, and the 2D tiled-QR kernel
-// tasks (geqrt/unmqr/tsqrt/tsmqr) for one front, then stages its
-// contribution block for the parent.
-func submitFront(g *runtime.Graph, t *Tree, fi int, tiles [][][]*runtime.DataHandle, cb []*runtime.DataHandle, p Params) {
+// frontSpecs appends the activate, assemble, and 2D tiled-QR kernel
+// task specs (geqrt/unmqr/tsqrt/tsmqr) of one front, then the staging
+// of its contribution block for the parent, and returns the extended
+// slice.
+func frontSpecs(specs []runtime.TaskSpec, t *Tree, fi int, tiles [][][]*runtime.DataHandle, cb []*runtime.DataHandle, p Params) []runtime.TaskSpec {
 	f := &t.Fronts[fi]
 	rt, ct := gridOf(f, p)
 	m := p.Machine
@@ -135,7 +138,7 @@ func submitFront(g *runtime.Graph, t *Tree, fi int, tiles [][][]*runtime.DataHan
 			bytes += tiles[fi][r][c].Bytes
 		}
 	}
-	g.Submit(&runtime.Task{
+	specs = append(specs, runtime.TaskSpec{
 		Kind:      "activate",
 		Footprint: sizeBucket(bytes),
 		Cost:      memCost(m, bytes),
@@ -154,7 +157,7 @@ func submitFront(g *runtime.Graph, t *Tree, fi int, tiles [][][]*runtime.DataHan
 		if ct > 1 {
 			acc = append(acc, runtime.Access{Handle: tiles[fi][row][1], Mode: runtime.RW})
 		}
-		g.Submit(&runtime.Task{
+		specs = append(specs, runtime.TaskSpec{
 			Kind:      "assemble",
 			Footprint: sizeBucket(cb[c].Bytes),
 			Cost:      memCost(m, cb[c].Bytes),
@@ -168,7 +171,7 @@ func submitFront(g *runtime.Graph, t *Tree, fi int, tiles [][][]*runtime.DataHan
 	for k := 0; k < kmax; k++ {
 		wk := panelWidth(f.Cols, w, k)
 		hk := blockHeight(f.Rows, br, k)
-		g.Submit(&runtime.Task{
+		specs = append(specs, runtime.TaskSpec{
 			Kind:      "geqrt",
 			Footprint: sizeBucket(int64(hk) * int64(wk)),
 			Flops:     qrFlops(hk, wk),
@@ -179,7 +182,7 @@ func submitFront(g *runtime.Graph, t *Tree, fi int, tiles [][][]*runtime.DataHan
 		for j := k + 1; j < ct; j++ {
 			wj := panelWidth(f.Cols, w, j)
 			fl := 2 * float64(wk) * float64(hk) * float64(wj)
-			g.Submit(&runtime.Task{
+			specs = append(specs, runtime.TaskSpec{
 				Kind:      "unmqr",
 				Footprint: sizeBucket(int64(hk) * int64(wj)),
 				Flops:     fl,
@@ -194,7 +197,7 @@ func submitFront(g *runtime.Graph, t *Tree, fi int, tiles [][][]*runtime.DataHan
 		for i := k + 1; i < rt; i++ {
 			hi := blockHeight(f.Rows, br, i)
 			fl := 10.0 / 3 * float64(wk) * float64(wk) * float64(hi)
-			g.Submit(&runtime.Task{
+			specs = append(specs, runtime.TaskSpec{
 				Kind:      "tsqrt",
 				Footprint: sizeBucket(int64(hi) * int64(wk)),
 				Flops:     fl,
@@ -208,7 +211,7 @@ func submitFront(g *runtime.Graph, t *Tree, fi int, tiles [][][]*runtime.DataHan
 			for j := k + 1; j < ct; j++ {
 				wj := panelWidth(f.Cols, w, j)
 				ufl := 4 * float64(wk) * float64(hi) * float64(wj)
-				g.Submit(&runtime.Task{
+				specs = append(specs, runtime.TaskSpec{
 					Kind:      "tsmqr",
 					Footprint: sizeBucket(int64(hi) * int64(wj)),
 					Flops:     ufl,
@@ -230,7 +233,7 @@ func submitFront(g *runtime.Graph, t *Tree, fi int, tiles [][][]*runtime.DataHan
 			{Handle: tiles[fi][rt-1][ct-1], Mode: runtime.R},
 			{Handle: cb[fi], Mode: runtime.W},
 		}
-		g.Submit(&runtime.Task{
+		specs = append(specs, runtime.TaskSpec{
 			Kind:      "stage",
 			Footprint: sizeBucket(cb[fi].Bytes),
 			Cost:      memCost(m, cb[fi].Bytes),
@@ -238,6 +241,7 @@ func submitFront(g *runtime.Graph, t *Tree, fi int, tiles [][][]*runtime.DataHan
 			Tag:       fi,
 		})
 	}
+	return specs
 }
 
 // qrFlops is the operation count of a QR panel factorization of an

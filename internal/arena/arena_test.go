@@ -1,0 +1,68 @@
+package arena
+
+import "testing"
+
+func TestGetDistinctZero(t *testing.T) {
+	var a Arena[int]
+	seen := map[*int]bool{}
+	for i := 0; i < 1000; i++ {
+		p := a.Get()
+		if *p != 0 {
+			t.Fatalf("Get returned non-zero value %d", *p)
+		}
+		if seen[p] {
+			t.Fatalf("Get returned the same pointer twice")
+		}
+		seen[p] = true
+		*p = i + 1
+	}
+}
+
+func TestGetNContiguous(t *testing.T) {
+	var a Arena[int]
+	s := a.GetN(100)
+	if len(s) != 100 || cap(s) != 100 {
+		t.Fatalf("GetN(100): len=%d cap=%d", len(s), cap(s))
+	}
+	for i := range s {
+		s[i] = i
+	}
+	// A later block must not alias the first.
+	s2 := a.GetN(100)
+	for i := range s2 {
+		if s2[i] != 0 {
+			t.Fatalf("second block aliases the first at %d", i)
+		}
+	}
+	for i := range s {
+		if s[i] != i {
+			t.Fatalf("first block corrupted at %d", i)
+		}
+	}
+	if a.GetN(0) != nil {
+		t.Fatal("GetN(0) should be nil")
+	}
+}
+
+func TestReserveSingleChunk(t *testing.T) {
+	// After Reserve(n), handing out n objects must allocate exactly one
+	// backing chunk.
+	allocs := testing.AllocsPerRun(10, func() {
+		var a Arena[int]
+		a.Reserve(10_000)
+		for i := 0; i < 10_000; i++ {
+			a.Get()
+		}
+	})
+	if allocs > 1 {
+		t.Fatalf("Reserve(10000)+10000 Gets allocated %.0f times, want 1", allocs)
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	b.ReportAllocs()
+	var a Arena[[8]int64]
+	for i := 0; i < b.N; i++ {
+		a.Get()
+	}
+}

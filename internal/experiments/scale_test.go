@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestRunScaleQuick runs the scaling study at quick scale: every
+// (size, scheduler) row must be oracle-validated with memory events
+// on, and the deterministic columns (events, makespan) must agree with
+// the bench suite's fixed seeds — the same graph seed 42 / sim seed 7
+// pair BenchmarkSimThroughput1e5 uses.
+func TestRunScaleQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs 10^3..10^5-task simulations")
+	}
+	r, err := RunScale(Quick, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 3 * len(scaleSchedulers())
+	if len(r.Rows) != want {
+		t.Fatalf("got %d rows, want %d", len(r.Rows), want)
+	}
+	for _, row := range r.Rows {
+		if !row.Checked {
+			t.Errorf("%d/%s not oracle-validated", row.Tasks, row.Scheduler)
+		}
+		if row.Makespan <= 0 || row.Events <= 0 || row.TasksPerSec <= 0 {
+			t.Errorf("%d/%s has degenerate measurements: makespan %g, events %d, tasks/s %g",
+				row.Tasks, row.Scheduler, row.Makespan, row.Events, row.TasksPerSec)
+		}
+		// Every task contributes at least its wake and finish events.
+		if row.Events < int64(2*row.Tasks) {
+			t.Errorf("%d/%s recorded only %d events", row.Tasks, row.Scheduler, row.Events)
+		}
+	}
+	var buf bytes.Buffer
+	r.Print(&buf)
+	out := buf.String()
+	for _, frag := range []string{"Scaling curve", "tasks/s", "oracle", "ok"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("table missing %q:\n%s", frag, out)
+		}
+	}
+}

@@ -159,6 +159,10 @@ type RunConfig struct {
 	// Lookahead is the per-worker task pipeline depth of the simulator
 	// (one computing plus lookahead-1 staging slots). Default 2.
 	Lookahead int
+	// CollectTrace keeps transfer spans in the simulator trace. Span and
+	// idle accounting are always on; this flag only adds the per-transfer
+	// records that the transfer-inspection experiments read.
+	CollectTrace bool
 	// Probe receives scheduler decision events and engine counters.
 	Probe obs.Probe
 	// Faults, when non-nil and non-empty, injects the fault plan into
@@ -234,8 +238,19 @@ func WithMemEvents() Option { return func(c *RunConfig) { c.CollectMemEvents = t
 // WithMaxEvents bounds the simulator's event budget.
 func WithMaxEvents(n int64) Option { return func(c *RunConfig) { c.MaxEvents = n } }
 
+// WithPipeline sets the simulator's per-worker pipeline depth (one
+// computing plus n-1 staging slots). This is the canonical spelling —
+// it matches the simulator's own Pipeline option.
+func WithPipeline(n int) Option { return func(c *RunConfig) { c.Lookahead = n } }
+
 // WithLookahead sets the simulator's per-worker pipeline depth.
-func WithLookahead(n int) Option { return func(c *RunConfig) { c.Lookahead = n } }
+//
+// Deprecated: use WithPipeline; kept for compatibility.
+func WithLookahead(n int) Option { return WithPipeline(n) }
+
+// WithTransferSpans keeps per-transfer spans in the simulator trace
+// (span and idle accounting are always recorded regardless).
+func WithTransferSpans() Option { return func(c *RunConfig) { c.CollectTrace = true } }
 
 // WithProbe attaches an observation probe.
 func WithProbe(p obs.Probe) Option { return func(c *RunConfig) { c.Probe = p } }

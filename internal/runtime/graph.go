@@ -3,6 +3,7 @@ package runtime
 import (
 	"fmt"
 
+	"multiprio/internal/arena"
 	"multiprio/internal/platform"
 )
 
@@ -23,9 +24,16 @@ type Graph struct {
 	preds [][]*Task
 
 	// depScratch is reused across Submit calls for the per-task
-	// dependency list (deduplicated by linear scan: tasks touch a
-	// handful of handles, so the scan beats a map allocation per task).
+	// dependency list; depEpoch stamps Task.depMark so membership is an
+	// O(1) check instead of a re-scan per handle touch.
 	depScratch []*Task
+	depEpoch   int64
+
+	// taskArena and handleArena back the objects created through
+	// SubmitBatch and NewDataOn, so building a million-task graph costs
+	// a handful of chunk allocations instead of one per object.
+	taskArena   arena.Arena[Task]
+	handleArena arena.Arena[DataHandle]
 
 	nextTask   int64
 	nextHandle int64
@@ -36,6 +44,25 @@ func NewGraph() *Graph {
 	return &Graph{}
 }
 
+// NewGraphWithCapacity returns an empty graph presized for the given
+// numbers of tasks and handles: the Tasks/Handles/preds tables and the
+// backing arenas are reserved up front, so batch submission of exactly
+// that volume does not reallocate. Exceeding the capacities is safe —
+// the graph grows as usual past them.
+func NewGraphWithCapacity(tasks, handles int) *Graph {
+	g := &Graph{}
+	if tasks > 0 {
+		g.Tasks = make([]*Task, 0, tasks)
+		g.preds = make([][]*Task, 0, tasks)
+		g.taskArena.Reserve(tasks)
+	}
+	if handles > 0 {
+		g.Handles = make([]*DataHandle, 0, handles)
+		g.handleArena.Reserve(handles)
+	}
+	return g
+}
+
 // NewData registers a data handle of the given size residing on the main
 // RAM node.
 func (g *Graph) NewData(name string, bytes int64) *DataHandle {
@@ -44,15 +71,58 @@ func (g *Graph) NewData(name string, bytes int64) *DataHandle {
 
 // NewDataOn registers a data handle residing initially on mem.
 func (g *Graph) NewDataOn(name string, bytes int64, mem platform.MemID) *DataHandle {
-	h := &DataHandle{
-		ID:    g.nextHandle,
-		Name:  name,
-		Bytes: bytes,
-		Home:  mem,
-	}
+	h := g.handleArena.Get()
+	h.ID = g.nextHandle
+	h.Name = name
+	h.Bytes = bytes
+	h.Home = mem
 	g.nextHandle++
 	g.Handles = append(g.Handles, h)
 	return h
+}
+
+// TaskSpec describes one task for batch submission: the
+// application-visible fields of Task, without the runtime-owned DAG and
+// execution state. SubmitBatch materializes each spec into an
+// arena-backed Task.
+type TaskSpec struct {
+	Kind      string
+	Footprint uint64
+	Flops     float64
+	Priority  int
+	Accesses  []Access
+	Cost      []float64
+	Run       func(w WorkerInfo)
+	Tag       any
+}
+
+// SubmitBatch submits the specs in order, exactly as a sequence of
+// Submit calls would, and returns the created tasks (a sub-slice of
+// g.Tasks; callers must not append to it). The tasks themselves come
+// from the graph's arena, so a batch costs O(1) allocations for the
+// task objects instead of one per task. Dependency inference, task IDs,
+// and edge insertion order are identical to sequential submission —
+// batch-built graphs schedule byte-identically.
+func (g *Graph) SubmitBatch(specs []TaskSpec) []*Task {
+	start := len(g.Tasks)
+	if len(specs) == 0 {
+		return nil
+	}
+	block := g.taskArena.GetN(len(specs))
+	for i := range specs {
+		s := &specs[i]
+		t := &block[i]
+		t.Kind = s.Kind
+		t.Footprint = s.Footprint
+		t.Flops = s.Flops
+		t.Priority = s.Priority
+		t.Accesses = s.Accesses
+		t.Cost = s.Cost
+		t.Run = s.Run
+		t.Tag = s.Tag
+		g.Submit(t)
+	}
+	return g.Tasks[start:len(g.Tasks):len(g.Tasks)]
 }
 
 // Submit adds the task to the graph, inferring dependencies from the
@@ -63,22 +133,23 @@ func (g *Graph) Submit(t *Task) *Task {
 	t.ID = g.nextTask
 	g.nextTask++
 	g.preds = append(g.preds, nil)
-	// deps keeps first-encounter order (a reused slice, deduplicated by
-	// linear scan): edges must be inserted in a deterministic order,
-	// because Succs/Preds order is visible to the engines (successor
-	// release order) and to schedulers (tie-breaks over equal
-	// timestamps). Iterating a map here made identically-built graphs
-	// schedule differently run to run.
+	// deps keeps first-encounter order (a reused slice): edges must be
+	// inserted in a deterministic order, because Succs/Preds order is
+	// visible to the engines (successor release order) and to schedulers
+	// (tie-breaks over equal timestamps). Iterating a map here made
+	// identically-built graphs schedule differently run to run.
+	// Deduplication is an epoch stamp on the candidate task — first
+	// encounter wins, repeats are O(1) — so wide-fanout tasks (a reducer
+	// reading thousands of handles) infer in O(deps), not O(deps²).
+	g.depEpoch++
+	epoch := g.depEpoch
+	t.depMark = epoch // a task never depends on itself
 	deps := g.depScratch[:0]
 	dep := func(d *Task) {
-		if d == nil || d == t {
+		if d == nil || d.depMark == epoch {
 			return
 		}
-		for _, have := range deps {
-			if have == d {
-				return
-			}
-		}
+		d.depMark = epoch
 		deps = append(deps, d)
 	}
 	for _, a := range t.Accesses {

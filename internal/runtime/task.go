@@ -128,6 +128,11 @@ type Task struct {
 	npreds    int32
 	remaining atomic.Int32
 	claimed   atomic.Bool
+	// depMark is the Graph.depEpoch value of the last submission that
+	// recorded this task as a dependency; it replaces the per-handle
+	// linear re-scan of the dependency list with an O(1) check, making
+	// wide-fanout submission O(deps) instead of O(deps²).
+	depMark int64
 
 	// Execution record, filled by the engines (virtual or wall-clock
 	// seconds since the start of the run).

@@ -196,6 +196,15 @@ func (e *ThreadedEngine) run(g *Graph) (*Result, error) {
 		// (per-worker-queue policies like dmdas map tasks to specific
 		// workers).
 		nilStreak int
+		// pushGen increments whenever new work may have become visible
+		// to the schedulers (a push, or a fault reshuffling queues).
+		// Workers snapshot it before releasing mu to Pop — schedulers
+		// synchronize internally, Push already runs without mu — so the
+		// engine lock no longer serializes every Pop. A worker whose
+		// Pop came back empty only waits (or counts a starvation
+		// strike) if the generation is unchanged, closing the classic
+		// lost-wakeup window between its unlocked Pop and its Wait.
+		pushGen uint64
 		// pushed/popped/done feed the engine progress counters; they
 		// are only maintained while a probe is attached and, like the
 		// scheduler state, are guarded by mu.
@@ -264,6 +273,7 @@ func (e *ThreadedEngine) run(g *Graph) (*Result, error) {
 				// concurrent kill timers' copy-on-write updates.
 				env.MarkWorkerDown(ev.Worker)
 				nilStreak = 0
+				pushGen++ // WorkerDown may reshuffle queued tasks
 				mu.Unlock()
 				if fo, ok := e.Sched.(FaultObserver); ok {
 					fo.WorkerDown(workers[ev.Worker])
@@ -298,6 +308,7 @@ func (e *ThreadedEngine) run(g *Graph) (*Result, error) {
 			mu.Lock()
 			pushed++
 			nilStreak = 0
+			pushGen++
 			noteProgress()
 			mu.Unlock()
 			cond.Broadcast()
@@ -335,7 +346,16 @@ func (e *ThreadedEngine) run(g *Graph) (*Result, error) {
 						mu.Unlock()
 						return
 					}
+					// Pop without holding the engine lock: at high
+					// fan-out the schedulers' own sharded or per-worker
+					// structures can serve concurrent pops, and holding
+					// mu across Pop serialized all of them. The
+					// generation snapshot detects pushes that landed
+					// while mu was released.
+					gen := pushGen
+					mu.Unlock()
 					t = e.Sched.Pop(w)
+					mu.Lock()
 					if t != nil {
 						nilStreak = 0
 						popped++
@@ -348,6 +368,12 @@ func (e *ThreadedEngine) run(g *Graph) (*Result, error) {
 							continue
 						}
 						break
+					}
+					if pushGen != gen {
+						// Work arrived while the lock was released: the
+						// empty pop is stale, probe again without
+						// counting a starvation strike or waiting.
+						continue
 					}
 					nilStreak++
 					if nilStreak >= liveWorkers && running == 0 && pendingRetries == 0 && pendingArrivals == 0 {
@@ -441,6 +467,7 @@ func (e *ThreadedEngine) run(g *Graph) (*Result, error) {
 						mu.Lock()
 						pushed++
 						nilStreak = 0
+						pushGen++
 						noteProgress()
 						mu.Unlock()
 						cond.Broadcast()
@@ -510,6 +537,7 @@ func (e *ThreadedEngine) run(g *Graph) (*Result, error) {
 				e.Sched.TaskDone(t, w)
 				mu.Lock()
 				nilStreak = 0 // new work may be visible: reprobe everywhere
+				pushGen++
 				pushed += released
 				noteProgress()
 				mu.Unlock()
@@ -565,6 +593,7 @@ func (e *ThreadedEngine) run(g *Graph) (*Result, error) {
 				mu.Lock()
 				pushed += len(relaunch)
 				nilStreak = 0
+				pushGen++
 				noteProgress()
 				mu.Unlock()
 				cond.Broadcast()

@@ -1,18 +1,43 @@
 // Package eager implements StarPU's simplest scheduling policy: one
 // central FIFO shared by all workers. It ignores heterogeneity entirely
 // and serves as the floor baseline in ablation studies.
+//
+// The FIFO is stored as one sub-queue per capability class (the set of
+// architectures a task can run on, a static property of its cost
+// vector). Pop takes the oldest unclaimed head among the classes the
+// worker's architecture appears in — the same task the seed's linear
+// scan over one shared slice returned, found in O(classes) instead of
+// O(queue): a worker no longer re-scans every task it cannot run on
+// each wake-up, which dominated pop cost on large mixed-affinity DAGs.
 package eager
 
 import (
 	"sync"
 
+	"multiprio/internal/platform"
 	"multiprio/internal/runtime"
 )
 
+// entry is one queued task stamped with its global arrival order.
+type entry struct {
+	seq uint64
+	t   *runtime.Task
+}
+
+// class is the FIFO of one capability mask. head indexes the oldest
+// live entry; popped and claimed-elsewhere entries are nilled in place
+// and the slice is recycled once drained.
+type class struct {
+	mask uint64
+	head int
+	q    []entry
+}
+
 // Sched is the eager policy. The zero value is ready after Init.
 type Sched struct {
-	mu    sync.Mutex
-	queue []*runtime.Task
+	mu      sync.Mutex
+	seq     uint64
+	classes []class // one per distinct capability mask, few in practice
 }
 
 // New returns an eager scheduler.
@@ -24,38 +49,91 @@ func (s *Sched) Name() string { return "eager" }
 // Init implements runtime.Scheduler.
 func (s *Sched) Init(env *runtime.Env) {
 	s.mu.Lock()
-	s.queue = s.queue[:0]
+	s.seq = 0
+	s.classes = s.classes[:0]
 	s.mu.Unlock()
+}
+
+// capMask is the set of architectures t can run on, as a bit set.
+func capMask(t *runtime.Task) uint64 {
+	var m uint64
+	for a := 0; a < len(t.Cost) && a < 64; a++ {
+		if t.CanRun(platform.ArchID(a)) {
+			m |= 1 << uint(a)
+		}
+	}
+	return m
 }
 
 // Push implements runtime.Scheduler.
 func (s *Sched) Push(t *runtime.Task) {
+	mask := capMask(t)
 	s.mu.Lock()
-	s.queue = append(s.queue, t)
+	var c *class
+	for i := range s.classes {
+		if s.classes[i].mask == mask {
+			c = &s.classes[i]
+			break
+		}
+	}
+	if c == nil {
+		s.classes = append(s.classes, class{mask: mask})
+		c = &s.classes[len(s.classes)-1]
+	}
+	c.q = append(c.q, entry{seq: s.seq, t: t})
+	s.seq++
 	s.mu.Unlock()
 }
 
 // Pop implements runtime.Scheduler: first runnable unclaimed task in
 // FIFO order. Tasks the worker cannot run are left in place for others.
 func (s *Sched) Pop(w runtime.WorkerInfo) *runtime.Task {
+	if w.Arch < 0 || int(w.Arch) >= 64 {
+		return nil
+	}
+	bit := uint64(1) << uint(w.Arch)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for i := 0; i < len(s.queue); i++ {
-		t := s.queue[i]
-		if t.Claimed() {
-			s.queue = append(s.queue[:i], s.queue[i+1:]...)
-			i--
-			continue
+	for {
+		best := -1
+		var bestSeq uint64
+		for i := range s.classes {
+			c := &s.classes[i]
+			if c.mask&bit == 0 {
+				continue
+			}
+			// Claimed heads (speculation losers, or tasks another
+			// worker won between our scans) are dead; drop them.
+			for c.head < len(c.q) && c.q[c.head].t.Claimed() {
+				c.q[c.head].t = nil
+				c.head++
+			}
+			if c.head == len(c.q) {
+				c.q = c.q[:0]
+				c.head = 0
+				continue
+			}
+			if best < 0 || c.q[c.head].seq < bestSeq {
+				best = i
+				bestSeq = c.q[c.head].seq
+			}
 		}
-		if !t.CanRun(w.Arch) {
-			continue
+		if best < 0 {
+			return nil
+		}
+		c := &s.classes[best]
+		t := c.q[c.head].t
+		c.q[c.head].t = nil
+		c.head++
+		if c.head == len(c.q) {
+			c.q = c.q[:0]
+			c.head = 0
 		}
 		if t.TryClaim() {
-			s.queue = append(s.queue[:i], s.queue[i+1:]...)
 			return t
 		}
+		// Lost the claim race: the task is gone either way, rescan.
 	}
-	return nil
 }
 
 // TaskDone implements runtime.Scheduler.

@@ -1,0 +1,10 @@
+package shardfifo
+
+import (
+	"multiprio/internal/runtime"
+	"multiprio/internal/sched/registry"
+)
+
+func init() {
+	registry.Register("shardfifo", func(registry.Options) runtime.Scheduler { return New() })
+}

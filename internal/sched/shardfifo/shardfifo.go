@@ -1,0 +1,94 @@
+// Package shardfifo implements a sharded ready queue with FIFO work
+// stealing: one queue shard per worker, pushes spread round-robin, pops
+// drain the worker's own shard first and steal oldest-first from the
+// others. Unlike eager's single central FIFO there is no global lock —
+// each shard synchronizes independently — so concurrent pops from many
+// workers don't serialize. Paired with the threaded engine's
+// pop-outside-the-engine-lock path this is the high-fan-out throughput
+// baseline; like eager and lws it ignores heterogeneity beyond the
+// can-run check and is not part of the paper's headline comparison.
+package shardfifo
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"multiprio/internal/runtime"
+)
+
+// shard is one independently locked FIFO. Padding out to a cache line
+// is deliberately omitted: queue mutation dominates, not false sharing.
+type shard struct {
+	mu sync.Mutex
+	q  []*runtime.Task
+}
+
+// popRunnable removes and returns the oldest unclaimed task the worker
+// arch can run, dropping claimed leftovers (speculative replicas whose
+// task already won) as it scans.
+func (sh *shard) popRunnable(w runtime.WorkerInfo) *runtime.Task {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for i := 0; i < len(sh.q); i++ {
+		t := sh.q[i]
+		if t.Claimed() {
+			sh.q = append(sh.q[:i], sh.q[i+1:]...)
+			i--
+			continue
+		}
+		if !t.CanRun(w.Arch) {
+			continue
+		}
+		if t.TryClaim() {
+			sh.q = append(sh.q[:i], sh.q[i+1:]...)
+			return t
+		}
+	}
+	return nil
+}
+
+// Sched is the sharded-FIFO policy. The zero value is ready after Init.
+type Sched struct {
+	shards []shard
+	rr     atomic.Uint64
+}
+
+// New returns a sharded-FIFO scheduler.
+func New() *Sched { return &Sched{} }
+
+// Name implements runtime.Scheduler.
+func (s *Sched) Name() string { return "shardfifo" }
+
+// Init implements runtime.Scheduler.
+func (s *Sched) Init(env *runtime.Env) {
+	s.shards = make([]shard, len(env.Machine.Units))
+	s.rr.Store(0)
+}
+
+// Push implements runtime.Scheduler: round-robin over the shards, FIFO
+// within one. The counter is atomic so concurrent pushes (successor
+// releases from many workers at once) don't contend on a shared lock
+// before even reaching a shard.
+func (s *Sched) Push(t *runtime.Task) {
+	sh := &s.shards[(s.rr.Add(1)-1)%uint64(len(s.shards))]
+	sh.mu.Lock()
+	sh.q = append(sh.q, t)
+	sh.mu.Unlock()
+}
+
+// Pop implements runtime.Scheduler: the worker's own shard first, then
+// steal from the others in ascending order starting past its own (a
+// fixed per-worker order keeps single-threaded runs deterministic).
+func (s *Sched) Pop(w runtime.WorkerInfo) *runtime.Task {
+	n := len(s.shards)
+	own := int(w.ID) % n
+	for i := 0; i < n; i++ {
+		if t := s.shards[(own+i)%n].popRunnable(w); t != nil {
+			return t
+		}
+	}
+	return nil
+}
+
+// TaskDone implements runtime.Scheduler.
+func (s *Sched) TaskDone(t *runtime.Task, w runtime.WorkerInfo) {}

@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -123,6 +122,7 @@ func NewEngine(m *platform.Machine, s runtime.Scheduler, opts ...runtime.Option)
 		CollectMemEvents: cfg.CollectMemEvents,
 		MaxEvents:        cfg.MaxEvents,
 		Pipeline:         cfg.Lookahead,
+		CollectTrace:     cfg.CollectTrace,
 		Probe:            cfg.Probe,
 		Faults:           cfg.Faults,
 		Watchdog:         cfg.Watchdog,
@@ -154,6 +154,13 @@ type simulation struct {
 	left         int
 	events       int64
 	drainPending bool
+	// batch is the reused same-timestamp event buffer of the main loop.
+	batch []event
+	// wakeFns and drainFn are the per-worker wake and coalesced drain
+	// event handlers, built once: the seed allocated a fresh closure per
+	// wake, which dominated the event loop's allocation profile.
+	wakeFns []func()
+	drainFn func()
 	// runErr aborts the event loop (retry budget exhausted).
 	runErr error
 
@@ -198,6 +205,24 @@ type simWorker struct {
 	freeAt float64
 	// staged queues tasks whose data is ready, waiting for the unit.
 	staged []stagedTask
+	// fin holds the arguments of the in-flight kernel-finish event and
+	// finFn is the prebuilt handler reading them — valid on fault-free
+	// runs only, where at most one kernel (and so one finish event) per
+	// worker is outstanding and nothing can cancel it. Fault runs keep
+	// a per-kernel closure: attempts are cancellable and the captured
+	// runState is the cancellation guard.
+	fin   finishArgs
+	finFn func()
+}
+
+// finishArgs carries one kernel completion from maybeCompute to
+// finishTask through the worker's reusable finish slot.
+type finishArgs struct {
+	t            *runtime.Task
+	blockedSince float64
+	wait         float64
+	dur          float64
+	startSeq     int64
 }
 
 type stagedTask struct {
@@ -281,11 +306,14 @@ func runEngine(m *platform.Machine, g *runtime.Graph, s runtime.Scheduler, opts 
 		rng:     rand.New(rand.NewSource(opts.Seed)),
 		tr:      trace.New(m),
 		left:    len(g.Tasks),
-		// Preallocate the event queue: steady state holds one compute
-		// event per busy worker plus wake/transfer events, so a few
-		// events per unit is ample and spares the early growth copies.
-		pq: make(eventQueue, 0, 8*len(m.Units)+64),
 	}
+	// Presize the trace and the event queue from what the run will
+	// certainly produce: one span per task, and a steady state of one
+	// compute event per busy worker plus wake/transfer events. Span
+	// append growth was the single largest allocation cost of
+	// million-task runs.
+	eng.tr.Reserve(len(g.Tasks), 0, 0)
+	eng.pq.near = make([]event, 0, 8*len(m.Units)+64)
 	eng.probe = opts.Probe
 	if opts.Watchdog.Armed() {
 		// The watchdog keeps a decision tail for its dump. Probes are
@@ -302,10 +330,30 @@ func runEngine(m *platform.Machine, g *runtime.Graph, s runtime.Scheduler, opts 
 	eng.commuteHeld = make(map[int64]bool)
 	eng.commuteWaiters = make(map[int64][]func())
 	eng.workers = make([]simWorker, len(m.Units))
+	eng.wakeFns = make([]func(), len(m.Units))
 	for i, u := range m.Units {
 		eng.workers[i] = simWorker{
 			info: runtime.WorkerInfo{ID: platform.UnitID(i), Arch: u.Arch, Mem: u.Mem},
 			unit: u,
+		}
+		w := platform.UnitID(i)
+		eng.wakeFns[i] = func() {
+			eng.workers[w].wakePending = false
+			eng.tryPop(w)
+		}
+		wk := &eng.workers[i]
+		wk.finFn = func() {
+			f := wk.fin
+			eng.finishTask(f.t, wk, nil, f.blockedSince, f.wait, f.dur, f.startSeq)
+		}
+	}
+	eng.drainFn = func() {
+		eng.drainPending = false
+		for i := range eng.workers {
+			wk := &eng.workers[i]
+			if !wk.dead && wk.canPop(eng.pipeline()) && !wk.wakePending {
+				eng.tryPop(platform.UnitID(i))
+			}
 		}
 	}
 
@@ -378,22 +426,34 @@ func runEngine(m *platform.Machine, g *runtime.Graph, s runtime.Scheduler, opts 
 	// wdMask throttles the watchdog's wall-clock reads to one per 256
 	// events; virtual time is free, syscalls are not.
 	const wdMask = 255
-	for eng.pq.Len() > 0 && eng.left > 0 && eng.runErr == nil {
-		ev := heap.Pop(&eng.pq).(event)
-		if ev.at < eng.now {
-			return nil, fmt.Errorf("sim: time went backwards (%g < %g)", ev.at, eng.now)
+	for eng.pq.len() > 0 && eng.left > 0 && eng.runErr == nil {
+		// Same-timestamp events process as one batch: the timestamp
+		// advances once, then the handlers run in seq order. Every
+		// per-event abort condition of the seed loop (completion, run
+		// error, event budget, watchdog) still applies between handlers,
+		// leaving the rest of the batch unprocessed exactly as the seed
+		// left it queued.
+		eng.batch = eng.pq.popBatch(eng.batch[:0])
+		if eng.batch[0].at < eng.now {
+			return nil, fmt.Errorf("sim: time went backwards (%g < %g)", eng.batch[0].at, eng.now)
 		}
-		eng.now = ev.at
-		ev.fn()
-		eng.events++
-		if eng.events > maxEvents {
-			return nil, fmt.Errorf("sim: exceeded %d events at t=%g with %d tasks left", maxEvents, eng.now, eng.left)
-		}
-		if opts.Watchdog.Armed() && eng.events&wdMask == 0 &&
-			time.Since(eng.wdStart) > opts.Watchdog.Deadline {
-			eng.dumpWatchdog(opts.Watchdog)
-			return nil, fmt.Errorf("sim: %w after %v (%d events, %d tasks left, t=%g, scheduler %s)",
-				runtime.ErrWatchdog, opts.Watchdog.Deadline, eng.events, eng.left, eng.now, s.Name())
+		eng.now = eng.batch[0].at
+		for i := range eng.batch {
+			if eng.left == 0 || eng.runErr != nil {
+				break
+			}
+			eng.batch[i].fn()
+			eng.batch[i].fn = nil
+			eng.events++
+			if eng.events > maxEvents {
+				return nil, fmt.Errorf("sim: exceeded %d events at t=%g with %d tasks left", maxEvents, eng.now, eng.left)
+			}
+			if opts.Watchdog.Armed() && eng.events&wdMask == 0 &&
+				time.Since(eng.wdStart) > opts.Watchdog.Deadline {
+				eng.dumpWatchdog(opts.Watchdog)
+				return nil, fmt.Errorf("sim: %w after %v (%d events, %d tasks left, t=%g, scheduler %s)",
+					runtime.ErrWatchdog, opts.Watchdog.Deadline, eng.events, eng.left, eng.now, s.Name())
+			}
 		}
 	}
 	if eng.runErr != nil {
@@ -440,12 +500,14 @@ func (eng *simulation) pushArrived(t *runtime.Task) {
 	eng.wakeAll()
 }
 
-// at schedules fn at time t (>= now).
+// at schedules fn at time t (>= now). Events at the current instant —
+// the wake/drain majority — take the queue's O(1) FIFO band.
 func (eng *simulation) at(t float64, fn func()) {
-	if t < eng.now {
-		t = eng.now
+	if t <= eng.now {
+		eng.pq.pushNow(event{at: eng.now, seq: eng.nextSeq(), fn: fn})
+		return
 	}
-	heap.Push(&eng.pq, event{at: t, seq: eng.nextSeq(), fn: fn})
+	eng.pq.push(event{at: t, seq: eng.nextSeq(), fn: fn})
 }
 
 func (eng *simulation) nextSeq() int64 {
@@ -468,10 +530,7 @@ func (eng *simulation) wake(w platform.UnitID) {
 		return
 	}
 	wk.wakePending = true
-	eng.at(eng.now, func() {
-		wk.wakePending = false
-		eng.tryPop(w)
-	})
+	eng.at(eng.now, eng.wakeFns[w])
 }
 
 // wakeAll wakes every worker with free pipeline slots. A single
@@ -482,15 +541,7 @@ func (eng *simulation) wakeAll() {
 		return
 	}
 	eng.drainPending = true
-	eng.at(eng.now, func() {
-		eng.drainPending = false
-		for i := range eng.workers {
-			wk := &eng.workers[i]
-			if !wk.dead && wk.canPop(eng.pipeline()) && !wk.wakePending {
-				eng.tryPop(platform.UnitID(i))
-			}
-		}
-	})
+	eng.at(eng.now, eng.drainFn)
 }
 
 // canPop reports whether worker w may take another task: its first task
@@ -554,7 +605,7 @@ func (eng *simulation) stageTask(t *runtime.Task, wk *simWorker, a *attempt) {
 		// already happened.
 		return
 	}
-	if !eng.tryLockCommute(t, func() { eng.stageTask(t, wk, a) }) {
+	if !eng.tryLockCommute(t, wk, a) {
 		return // parked until the commute lock frees
 	}
 	popAt := eng.now
@@ -624,12 +675,21 @@ func (eng *simulation) maybeCompute(wk *simWorker) {
 			st.a.run = run
 		}
 	}
-	eng.at(eng.now+dur, func() {
-		if run != nil && run.cancelled {
-			return // killed mid-kernel or lost to a speculation sibling
-		}
-		eng.finishTask(t, wk, st.a, blockedSince, wait, dur, startSeq)
-	})
+	if eng.faults == nil {
+		// Fault-free: reuse the worker's finish slot instead of closing
+		// over the six arguments per kernel. The slot is free here —
+		// wk.computing gates maybeCompute until the previous finish
+		// event has fired and finishTask cleared it.
+		wk.fin = finishArgs{t: t, blockedSince: blockedSince, wait: wait, dur: dur, startSeq: startSeq}
+		eng.at(eng.now+dur, wk.finFn)
+	} else {
+		eng.at(eng.now+dur, func() {
+			if run != nil && run.cancelled {
+				return // killed mid-kernel or lost to a speculation sibling
+			}
+			eng.finishTask(t, wk, st.a, blockedSince, wait, dur, startSeq)
+		})
+	}
 	if eng.specCtl != nil && st.a != nil {
 		// Straggler detection: the simulator knows the kernel duration
 		// at start, so it schedules a check event only for attempts that
@@ -642,16 +702,20 @@ func (eng *simulation) maybeCompute(wk *simWorker) {
 	eng.wake(wk.info.ID)
 }
 
-// tryLockCommute acquires every commute lock of t, or parks the retry
-// continuation on the first busy lock.
-func (eng *simulation) tryLockCommute(t *runtime.Task, retry func()) bool {
+// tryLockCommute acquires every commute lock of t, or parks a staging
+// retry on the first busy lock. The retry continuation is built only at
+// the park site: most stage attempts either have no commute handles or
+// take the locks immediately, and allocating a closure for them showed
+// up on million-task runs.
+func (eng *simulation) tryLockCommute(t *runtime.Task, wk *simWorker, a *attempt) bool {
 	hs := t.CommuteHandles(nil)
 	if len(hs) == 0 {
 		return true
 	}
 	for _, h := range hs {
 		if eng.commuteHeld[h.ID] {
-			eng.commuteWaiters[h.ID] = append(eng.commuteWaiters[h.ID], retry)
+			eng.commuteWaiters[h.ID] = append(eng.commuteWaiters[h.ID],
+				func() { eng.stageTask(t, wk, a) })
 			return false
 		}
 	}

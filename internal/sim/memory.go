@@ -20,18 +20,29 @@ const (
 	replValid
 )
 
-// replica tracks one handle on one memory node.
+// replica tracks one handle on one memory node. The struct is kept at
+// 24 bytes deliberately: one slab of handles × nodes replicas is zeroed
+// on every engine construction, and on million-handle graphs that zero
+// (plus the first-touch page faults behind it) is a measurable slice of
+// the whole run. Waiter callbacks live out-of-line in the manager's
+// waitq map — they exist only for the handful of replicas mid-fetch at
+// any instant, not for the whole slab.
 type replica struct {
-	state   replState
-	dirty   bool
-	pin     int
 	lastUse int64 // engine sequence number of last touch, for LRU
+	// Intrusive per-node LRU links (handle IDs, -1 terminates). inLRU
+	// marks list membership: a replica is listed exactly while it holds
+	// space on the node (valid or fetching). Every lastUse update moves
+	// the replica to the list tail, so the list stays sorted by lastUse
+	// and evictOne reads its victim off the head instead of scanning.
+	lruPrev, lruNext int32
+	pin              int32
+	state            replState
+	dirty            bool
 	// viaPrefetch marks a payload staged by a prefetch and not yet
 	// consumed by an acquire; it feeds the prefetch hit/late/wasted
 	// counters and is never read by placement or eviction decisions.
 	viaPrefetch bool
-	// waiters run when the replica becomes valid.
-	waiters []func()
+	inLRU       bool
 }
 
 // handleState is the per-handle coherence record.
@@ -53,13 +64,30 @@ type linkState struct {
 // accounting, LRU eviction with dirty write-back, and the transfer
 // engine. It implements runtime.DataLocator for the schedulers.
 type memoryManager struct {
-	eng      *simulation
-	machine  *platform.Machine
-	states   []*handleState // indexed by handle ID
-	used     []int64        // bytes resident or inbound per node
-	overflow []int64        // bytes accepted beyond capacity per node
-	resident [][]int64      // handle IDs with non-invalid replica per node
-	links    [][]linkState
+	eng     *simulation
+	machine *platform.Machine
+	// states is a value slab indexed by handle ID, with every per-node
+	// replica record carved out of one shared backing array: graph
+	// build and manager setup cost two allocations total instead of two
+	// per handle.
+	states   []handleState
+	replSlab []replica
+	used     []int64 // bytes resident or inbound per node
+	overflow []int64 // bytes accepted beyond capacity per node
+	// lruHead/lruTail are the per-node intrusive LRU lists over the
+	// replica links above, least-recently-used first (-1 when empty).
+	// They replace the seed's resident-ID slices, whose full linear
+	// scan per eviction dominated memory-starved runs.
+	lruHead []int32
+	lruTail []int32
+	links   [][]linkState
+
+	// waitq holds the callbacks parked on fetching replicas, keyed by
+	// handleID*len(Mems)+mem (see wkey). Kept off the replica slab so
+	// idle replicas cost no slice header; entries are consumed when the
+	// replica's transfer lands and otherwise persist exactly as the old
+	// in-struct waiter slices did.
+	waitq map[int64][]func()
 
 	// needsScratch is reused across acquire calls (the event loop is
 	// single-threaded and acquire never nests, so one buffer suffices;
@@ -97,24 +125,29 @@ func newMemoryManager(eng *simulation, g *runtime.Graph) *memoryManager {
 	mm := &memoryManager{
 		eng:      eng,
 		machine:  m,
-		states:   make([]*handleState, len(g.Handles)),
+		states:   make([]handleState, len(g.Handles)),
+		replSlab: make([]replica, len(g.Handles)*len(m.Mems)),
 		used:     make([]int64, len(m.Mems)),
 		overflow: make([]int64, len(m.Mems)),
-		resident: make([][]int64, len(m.Mems)),
+		lruHead:  make([]int32, len(m.Mems)),
+		lruTail:  make([]int32, len(m.Mems)),
 		links:    make([][]linkState, len(m.Mems)),
 	}
 	for i := range mm.links {
 		mm.links[i] = make([]linkState, len(m.Mems))
+		mm.lruHead[i] = -1
+		mm.lruTail[i] = -1
 	}
 	for _, h := range g.Handles {
 		if int(h.ID) >= len(mm.states) {
 			panic(fmt.Sprintf("sim: handle ID %d out of range", h.ID))
 		}
-		st := &handleState{h: h, repl: make([]replica, len(m.Mems))}
+		st := &mm.states[h.ID]
+		st.h = h
+		st.repl = mm.replSlab[int(h.ID)*len(m.Mems) : (int(h.ID)+1)*len(m.Mems)]
 		st.repl[h.Home] = replica{state: replValid}
-		mm.states[h.ID] = st
 		mm.used[h.Home] += h.Bytes
-		mm.resident[h.Home] = append(mm.resident[h.Home], h.ID)
+		mm.lruPush(h.Home, h.ID)
 	}
 	if eng.probe != nil {
 		mm.probe = eng.probe
@@ -131,6 +164,84 @@ func newMemoryManager(eng *simulation, g *runtime.Graph) *memoryManager {
 		}
 	}
 	return mm
+}
+
+// lruPush appends the replica of handle id to the tail of mem's LRU
+// list. Callers guarantee it is not already listed (replicas enter the
+// list exactly when their space is reserved).
+func (mm *memoryManager) lruPush(mem platform.MemID, id int64) {
+	r := &mm.states[id].repl[mem]
+	if r.inLRU {
+		panic(fmt.Sprintf("sim: handle %d double-listed on mem %d", id, mem))
+	}
+	r.inLRU = true
+	r.lruNext = -1
+	r.lruPrev = mm.lruTail[mem]
+	if r.lruPrev >= 0 {
+		mm.states[r.lruPrev].repl[mem].lruNext = int32(id)
+	} else {
+		mm.lruHead[mem] = int32(id)
+	}
+	mm.lruTail[mem] = int32(id)
+}
+
+// lruRemove unlinks the replica of handle id from mem's LRU list.
+func (mm *memoryManager) lruRemove(mem platform.MemID, id int64) {
+	r := &mm.states[id].repl[mem]
+	if !r.inLRU {
+		return
+	}
+	if r.lruPrev >= 0 {
+		mm.states[r.lruPrev].repl[mem].lruNext = r.lruNext
+	} else {
+		mm.lruHead[mem] = r.lruNext
+	}
+	if r.lruNext >= 0 {
+		mm.states[r.lruNext].repl[mem].lruPrev = r.lruPrev
+	} else {
+		mm.lruTail[mem] = r.lruPrev
+	}
+	r.inLRU = false
+}
+
+// lruTouch moves a listed replica to the tail. Every lastUse assignment
+// routes through it, which keeps the list sorted by lastUse: sequence
+// numbers increase monotonically, so the head is always the minimum —
+// exactly the victim the seed's min-lastUse scan picked.
+func (mm *memoryManager) lruTouch(mem platform.MemID, id int64) {
+	r := &mm.states[id].repl[mem]
+	if !r.inLRU || int64(mm.lruTail[mem]) == id {
+		return
+	}
+	mm.lruRemove(mem, id)
+	mm.lruPush(mem, id)
+}
+
+// wkey addresses one (handle, mem) replica in the waitq map.
+func (mm *memoryManager) wkey(id int64, mem platform.MemID) int64 {
+	return id*int64(len(mm.machine.Mems)) + int64(mem)
+}
+
+// addWaiter parks cb until the replica of handle id on mem turns valid.
+func (mm *memoryManager) addWaiter(id int64, mem platform.MemID, cb func()) {
+	if mm.waitq == nil {
+		mm.waitq = make(map[int64][]func())
+	}
+	k := mm.wkey(id, mem)
+	mm.waitq[k] = append(mm.waitq[k], cb)
+}
+
+// takeWaiters removes and returns the callbacks parked on (id, mem).
+func (mm *memoryManager) takeWaiters(id int64, mem platform.MemID) []func() {
+	if mm.waitq == nil {
+		return nil
+	}
+	k := mm.wkey(id, mem)
+	ws := mm.waitq[k]
+	if ws != nil {
+		delete(mm.waitq, k)
+	}
+	return ws
 }
 
 // noteUsed samples the used-bytes counter of mem; call after every
@@ -162,7 +273,7 @@ func (mm *memoryManager) IsResident(h *runtime.DataHandle, mem platform.MemID) b
 // TransferEstimate implements runtime.DataLocator: time to bring h to
 // mem from the closest valid replica, ignoring queueing.
 func (mm *memoryManager) TransferEstimate(h *runtime.DataHandle, mem platform.MemID) float64 {
-	st := mm.states[h.ID]
+	st := &mm.states[h.ID]
 	if st.repl[mem].state == replValid {
 		return 0
 	}
@@ -209,18 +320,18 @@ func (mm *memoryManager) acquire(t *runtime.Task, mem platform.MemID, done func(
 			needs[i].read = true
 		}
 	}
-	pending := 1 // sentinel so done runs once even with zero needs
-	ready := func() {
-		pending--
-		if pending == 0 {
-			done()
-		}
-	}
+	// The join counter and its ready continuation are allocated lazily,
+	// on the first need that has to wait: acquires whose data is already
+	// resident (or write-allocatable) run closure-free, which most of a
+	// large run's acquires are. The join's sentinel count of 1 keeps
+	// done from firing before every need has been examined.
+	var j *acquireJoin
 	for _, n := range needs {
-		st := mm.states[n.h.ID]
+		st := &mm.states[n.h.ID]
 		r := &st.repl[mem]
 		r.pin++
 		r.lastUse = mm.eng.nextSeq()
+		mm.lruTouch(mem, n.h.ID)
 		if n.read && r.viaPrefetch {
 			// A prefetched payload is being consumed: a hit when it
 			// already landed, late when the demand caught the transfer
@@ -241,7 +352,7 @@ func (mm *memoryManager) acquire(t *runtime.Task, mem platform.MemID, done func(
 			// Already here.
 		case !n.read:
 			// Write-only: allocate space, no fetch of old contents.
-			// The state flips before allocate so the eviction scan
+			// The state flips before allocate so the eviction walk
 			// inside allocate sees a live (non-evictable) entry.
 			if r.state == replInvalid {
 				r.state = replValid
@@ -253,25 +364,56 @@ func (mm *memoryManager) acquire(t *runtime.Task, mem platform.MemID, done func(
 			} else {
 				// A fetch is in flight (e.g. prefetch): let it land,
 				// the space is already accounted.
-				pending++
-				r.waiters = append(r.waiters, ready)
+				if j == nil {
+					j = newAcquireJoin(done)
+				}
+				j.pending++
+				mm.addWaiter(n.h.ID, mem, j.ready)
 			}
 		default:
-			pending++
-			mm.fetch(st, mem, false, ready)
+			if j == nil {
+				j = newAcquireJoin(done)
+			}
+			j.pending++
+			mm.fetch(st, mem, false, j.ready)
 		}
 	}
 	// Return the scratch before the sentinel fires: done() may start
 	// another task and re-enter acquire synchronously.
 	mm.needsScratch = needs[:0]
-	ready() // consume the sentinel
+	if j == nil {
+		done() // everything was resident; no continuation was built
+		return
+	}
+	j.ready() // consume the sentinel
+}
+
+// acquireJoin joins the asynchronous staging of one acquire: pending
+// counts outstanding fetches plus a sentinel, and done fires when the
+// last one lands. ready is the prebuilt continuation handed to fetches
+// and waiter queues, so each wait site costs no extra closure.
+type acquireJoin struct {
+	pending int
+	done    func()
+	ready   func()
+}
+
+func newAcquireJoin(done func()) *acquireJoin {
+	j := &acquireJoin{pending: 1, done: done}
+	j.ready = func() {
+		j.pending--
+		if j.pending == 0 {
+			j.done()
+		}
+	}
+	return j
 }
 
 // release unpins t's data on mem and applies write effects: written
 // handles become dirty sole copies on mem.
 func (mm *memoryManager) release(t *runtime.Task, mem platform.MemID) {
 	for ai, a := range t.Accesses {
-		st := mm.states[a.Handle.ID]
+		st := &mm.states[a.Handle.ID]
 		r := &st.repl[mem]
 		first := true
 		for _, prev := range t.Accesses[:ai] {
@@ -286,6 +428,7 @@ func (mm *memoryManager) release(t *runtime.Task, mem platform.MemID) {
 				panic("sim: negative pin count")
 			}
 			r.lastUse = mm.eng.nextSeq()
+			mm.lruTouch(mem, a.Handle.ID)
 		}
 		if a.Mode.IsWrite() {
 			r.state = replValid
@@ -304,6 +447,7 @@ func (mm *memoryManager) release(t *runtime.Task, mem platform.MemID) {
 					o.dirty = false
 					o.viaPrefetch = false
 					mm.used[other] -= st.h.Bytes
+					mm.lruRemove(platform.MemID(other), st.h.ID)
 					mm.event(trace.MemFree, st.h, platform.MemID(other), 0)
 					mm.noteUsed(platform.MemID(other))
 				}
@@ -318,7 +462,7 @@ func (mm *memoryManager) prefetch(t *runtime.Task, mem platform.MemID) {
 		if a.Mode == runtime.W {
 			continue
 		}
-		st := mm.states[a.Handle.ID]
+		st := &mm.states[a.Handle.ID]
 		if st.repl[mem].state == replInvalid {
 			mm.fetch(st, mem, true, nil)
 		}
@@ -336,7 +480,7 @@ func (mm *memoryManager) fetch(st *handleState, dst platform.MemID, isPrefetch b
 		return
 	case replFetching:
 		if cb != nil {
-			r.waiters = append(r.waiters, cb)
+			mm.addWaiter(st.h.ID, dst, cb)
 		}
 		return
 	}
@@ -357,8 +501,7 @@ func (mm *memoryManager) fetch(st *handleState, dst platform.MemID, isPrefetch b
 		// RAM). Chain onto its arrival, then retry.
 		for i := range st.repl {
 			if st.repl[i].state == replFetching && platform.MemID(i) != dst {
-				target := &st.repl[i]
-				target.waiters = append(target.waiters, func() {
+				mm.addWaiter(st.h.ID, platform.MemID(i), func() {
 					mm.fetch(st, dst, isPrefetch, cb)
 				})
 				return
@@ -369,7 +512,7 @@ func (mm *memoryManager) fetch(st *handleState, dst platform.MemID, isPrefetch b
 	r.state = replFetching
 	r.viaPrefetch = isPrefetch
 	if cb != nil {
-		r.waiters = append(r.waiters, cb)
+		mm.addWaiter(st.h.ID, dst, cb)
 	}
 	mm.allocate(dst, st.h)
 	mm.transfer(st, src, dst, isPrefetch, false)
@@ -396,25 +539,21 @@ func (mm *memoryManager) allocate(mem platform.MemID, h *runtime.DataHandle) {
 	}
 	mm.used[mem] += h.Bytes
 	mm.event(trace.MemAlloc, h, mem, 0)
-	mm.resident[mem] = append(mm.resident[mem], h.ID)
+	mm.lruPush(mem, h.ID)
 	mm.noteUsed(mem)
 }
 
 // evictOne drops the least-recently-used unpinned valid replica on mem,
 // write-backing dirty sole copies to RAM. Returns false when nothing is
-// evictable.
+// evictable. The walk starts at the LRU head — the minimal lastUse —
+// and stops at the first evictable entry, which is the exact victim the
+// seed's full min-lastUse scan selected; skipped entries are pinned,
+// mid-fetch, protected, or write-back-blocked.
 func (mm *memoryManager) evictOne(mem platform.MemID, protect int64) bool {
-	list := mm.resident[mem]
-	bestIdx := -1
-	var bestSeq int64 = math.MaxInt64
-	w := 0
-	for _, id := range list {
-		st := mm.states[id]
+	id := int64(mm.lruHead[mem])
+	for id >= 0 {
+		st := &mm.states[id]
 		r := &st.repl[mem]
-		if r.state == replInvalid {
-			continue // lazily compact entries of invalidated replicas
-		}
-		list[w] = id
 		// A dirty sole copy is unevictable while RAM is replFetching: the
 		// in-flight payload may predate the latest write (it would be
 		// dropped stale on arrival), and the write-back that would save
@@ -422,18 +561,15 @@ func (mm *memoryManager) evictOne(mem platform.MemID, protect int64) bool {
 		// here would discard the only copy.
 		evictable := r.state == replValid && r.pin == 0 && id != protect &&
 			!(r.dirty && st.repl[platform.MemRAM].state == replFetching)
-		if evictable && r.lastUse < bestSeq {
-			bestSeq = r.lastUse
-			bestIdx = w
+		if evictable {
+			break
 		}
-		w++
+		id = int64(r.lruNext)
 	}
-	mm.resident[mem] = list[:w]
-	if bestIdx < 0 {
+	if id < 0 {
 		return false
 	}
-	id := mm.resident[mem][bestIdx]
-	st := mm.states[id]
+	st := &mm.states[id]
 	r := &st.repl[mem]
 	if r.viaPrefetch {
 		// A prefetched payload evicted before any acquire touched it:
@@ -456,7 +592,7 @@ func (mm *memoryManager) evictOne(mem platform.MemID, protect int64) bool {
 			ram.state = replFetching
 			mm.used[platform.MemRAM] += st.h.Bytes
 			mm.event(trace.MemAlloc, st.h, platform.MemRAM, 0)
-			mm.resident[platform.MemRAM] = append(mm.resident[platform.MemRAM], id)
+			mm.lruPush(platform.MemRAM, id)
 			mm.noteUsed(platform.MemRAM)
 			mm.transfer(st, mem, platform.MemRAM, false, true)
 		}
@@ -464,8 +600,8 @@ func (mm *memoryManager) evictOne(mem platform.MemID, protect int64) bool {
 	r.state = replInvalid
 	r.dirty = false
 	mm.used[mem] -= st.h.Bytes
+	mm.lruRemove(mem, id)
 	mm.event(trace.MemFree, st.h, mem, 0)
-	mm.resident[mem] = append(mm.resident[mem][:bestIdx], mm.resident[mem][bestIdx+1:]...)
 	mm.noteUsed(mem)
 	if mm.probe != nil {
 		mm.evictions[mem]++
@@ -528,6 +664,7 @@ func (mm *memoryManager) transfer(st *handleState, src, dst platform.MemID, isPr
 			// for anyone still waiting.
 			r.state = replInvalid
 			mm.used[dst] -= st.h.Bytes
+			mm.lruRemove(dst, st.h.ID)
 			mm.event(trace.MemFree, st.h, dst, 0)
 			mm.noteUsed(dst)
 			if r.viaPrefetch {
@@ -537,15 +674,14 @@ func (mm *memoryManager) transfer(st *handleState, src, dst platform.MemID, isPr
 					mm.probe.Counter("sim.prefetch.wasted", mm.eng.now, mm.eng.seq, float64(mm.prefetchLost))
 				}
 			}
-			ws := r.waiters
-			r.waiters = nil
-			for _, w := range ws {
+			for _, w := range mm.takeWaiters(st.h.ID, dst) {
 				mm.fetch(st, dst, false, w)
 			}
 			return
 		}
 		r.state = replValid
 		r.lastUse = mm.eng.nextSeq()
+		mm.lruTouch(dst, st.h.ID)
 		mm.event(trace.MemValid, st.h, dst, gen)
 		if dst == platform.MemRAM {
 			// RAM now holds the current value: no replica is the sole
@@ -554,9 +690,7 @@ func (mm *memoryManager) transfer(st *handleState, src, dst platform.MemID, isPr
 				st.repl[i].dirty = false
 			}
 		}
-		ws := r.waiters
-		r.waiters = nil
-		for _, w := range ws {
+		for _, w := range mm.takeWaiters(st.h.ID, dst) {
 			w()
 		}
 	})
@@ -587,12 +721,13 @@ func (mm *memoryManager) abortAcquire(t *runtime.Task, mem platform.MemID, wallo
 		}
 	}
 	for _, h := range wallocs {
-		st := mm.states[h.ID]
+		st := &mm.states[h.ID]
 		r := &st.repl[mem]
 		if r.state == replValid && r.pin == 0 {
 			r.state = replInvalid
 			r.dirty = false
 			mm.used[mem] -= h.Bytes
+			mm.lruRemove(mem, h.ID)
 			mm.event(trace.MemFree, h, mem, 0)
 			mm.noteUsed(mem)
 		}
@@ -605,21 +740,27 @@ func (mm *memoryManager) abortAcquire(t *runtime.Task, mem platform.MemID, wallo
 // DMA engine survives the cores, as on a real accelerator), then every
 // valid replica is invalidated. In-flight inbound transfers are left
 // to land — a landed payload on a dead node can still serve as a
-// transfer source during the drain. Returns the number of replicas
-// dropped (or doomed to drop once a pending RAM transfer resolves).
+// transfer source during the drain. Replicas drain in LRU order (the
+// node's recency list is the only order it keeps); the order is stable
+// for a given seed and plan, preserving run-to-run determinism.
+// Returns the number of replicas dropped (or doomed to drop once a
+// pending RAM transfer resolves).
 func (mm *memoryManager) loseNode(mem platform.MemID) int {
 	if mem == platform.MemRAM {
 		return 0 // host RAM persists; only device memories are lost
 	}
 	lost := 0
-	list := append([]int64(nil), mm.resident[mem]...)
+	var list []int64
+	for id := mm.lruHead[mem]; id >= 0; id = mm.states[id].repl[mem].lruNext {
+		list = append(list, int64(id))
+	}
 	for _, id := range list {
-		st := mm.states[id]
+		st := &mm.states[id]
 		r := &st.repl[mem]
 		if r.state != replValid || r.pin > 0 {
-			// Invalid: lazily-compacted leftover. Fetching: inbound DMA,
-			// let it drain. Pinned: unreachable — every attempt on this
-			// node was aborted (and unpinned) before the node is lost.
+			// Fetching: inbound DMA, let it drain. Pinned: unreachable —
+			// every attempt on this node was aborted (and unpinned)
+			// before the node is lost.
 			continue
 		}
 		other := false
@@ -655,13 +796,13 @@ func (mm *memoryManager) loseNode(mem platform.MemID) int {
 			// a stale payload. Defer the drop until RAM resolves to the
 			// current value (the stale-drop path re-fetches from this
 			// still-valid replica, then our waiter runs).
-			ram.waiters = append(ram.waiters, func() { mm.dropReplica(st, mem) })
+			mm.addWaiter(st.h.ID, platform.MemRAM, func() { mm.dropReplica(st, mem) })
 			lost++
 		case replInvalid:
 			ram.state = replFetching
 			mm.used[platform.MemRAM] += st.h.Bytes
 			mm.event(trace.MemAlloc, st.h, platform.MemRAM, 0)
-			mm.resident[platform.MemRAM] = append(mm.resident[platform.MemRAM], id)
+			mm.lruPush(platform.MemRAM, id)
 			mm.noteUsed(platform.MemRAM)
 			mm.transfer(st, mem, platform.MemRAM, false, true)
 			// The transfer models a snapshot: the source may drop now,
@@ -691,6 +832,7 @@ func (mm *memoryManager) dropReplica(st *handleState, mem platform.MemID) {
 	r.state = replInvalid
 	r.dirty = false
 	mm.used[mem] -= st.h.Bytes
+	mm.lruRemove(mem, st.h.ID)
 	mm.event(trace.MemFree, st.h, mem, 0)
 	mm.noteUsed(mem)
 }

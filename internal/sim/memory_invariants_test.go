@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"multiprio/internal/core"
+	"multiprio/internal/platform"
 	"multiprio/internal/runtime"
 	"multiprio/internal/sched/dmdas"
 	"multiprio/internal/sched/eager"
@@ -27,8 +28,8 @@ func checkMemoryInvariants(t *testing.T, eng *simulation) {
 			if r.pin != 0 {
 				t.Errorf("handle %q pinned (%d) on mem %d after run", st.h.Name, r.pin, mem)
 			}
-			if len(r.waiters) != 0 {
-				t.Errorf("handle %q has %d waiters on mem %d after run", st.h.Name, len(r.waiters), mem)
+			if ws := mm.waitq[mm.wkey(st.h.ID, platform.MemID(mem))]; len(ws) != 0 {
+				t.Errorf("handle %q has %d waiters on mem %d after run", st.h.Name, len(ws), mem)
 			}
 			switch r.state {
 			case replValid:

@@ -1,0 +1,50 @@
+package sim
+
+import (
+	"testing"
+
+	"multiprio/internal/fault"
+	"multiprio/internal/perfmodel"
+	"multiprio/internal/platform"
+	"multiprio/internal/runtime"
+	"multiprio/internal/sched/eager"
+)
+
+// TestNewEngineLowersEveryOption is the options-audit regression: every
+// shared runtime functional option that the simulator implements must
+// reach the corresponding sim.Options field. A knob added to Options
+// without a lowering line here fails loudly instead of being silently
+// ignored.
+func TestNewEngineLowersEveryOption(t *testing.T) {
+	hist := perfmodel.NewHistory()
+	plan := &fault.Plan{}
+	eng, err := NewEngine(platform.CPUOnly(2), eager.New(),
+		runtime.WithSeed(99),
+		runtime.WithNoise(0.25),
+		runtime.WithHistory(hist),
+		runtime.WithMemEvents(),
+		runtime.WithMaxEvents(1234),
+		runtime.WithPipeline(7),
+		runtime.WithTransferSpans(),
+		runtime.WithFaultPlan(plan),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := eng.opts
+	if o.Seed != 99 || o.Noise != 0.25 || o.History != hist ||
+		!o.CollectMemEvents || o.MaxEvents != 1234 || o.Pipeline != 7 ||
+		!o.CollectTrace || o.Faults != plan {
+		t.Fatalf("options not lowered: %+v", o)
+	}
+}
+
+// TestWithLookaheadAliasesWithPipeline keeps the deprecated spelling
+// behaviourally identical to the canonical one.
+func TestWithLookaheadAliasesWithPipeline(t *testing.T) {
+	a := runtime.BuildRunConfig([]runtime.Option{runtime.WithLookahead(5)})
+	b := runtime.BuildRunConfig([]runtime.Option{runtime.WithPipeline(5)})
+	if a.Lookahead != 5 || b.Lookahead != 5 {
+		t.Fatalf("Lookahead = %d / %d, want 5 from both spellings", a.Lookahead, b.Lookahead)
+	}
+}

@@ -15,7 +15,7 @@ func (eng *simulation) dumpWatchdog(wd runtime.Watchdog) {
 	w := wd.Output()
 	fmt.Fprintf(w, "sim watchdog: no completion after %v wall time\n", wd.Deadline)
 	fmt.Fprintf(w, "  t=%g events=%d tasks-left=%d/%d scheduler=%s pending-events=%d\n",
-		eng.now, eng.events, eng.left, len(eng.graph.Tasks), eng.sched.Name(), eng.pq.Len())
+		eng.now, eng.events, eng.left, len(eng.graph.Tasks), eng.sched.Name(), eng.pq.len())
 	for i := range eng.workers {
 		wk := &eng.workers[i]
 		state := "idle"

@@ -114,6 +114,28 @@ func New(m *platform.Machine) *Trace {
 	return &Trace{Machine: m}
 }
 
+// Reserve presizes the event slices for a run whose rough volume is
+// known up front (one span per task). Growing a million-span slice by
+// doubling was the simulator's largest single allocation cost; a zero
+// argument leaves that slice untouched.
+func (tr *Trace) Reserve(spans, xfers, memEvents int) {
+	if spans > cap(tr.Spans) {
+		s := make([]Span, len(tr.Spans), spans)
+		copy(s, tr.Spans)
+		tr.Spans = s
+	}
+	if xfers > cap(tr.Xfers) {
+		x := make([]Transfer, len(tr.Xfers), xfers)
+		copy(x, tr.Xfers)
+		tr.Xfers = x
+	}
+	if memEvents > cap(tr.MemEvents) {
+		e := make([]MemEvent, len(tr.MemEvents), memEvents)
+		copy(e, tr.MemEvents)
+		tr.MemEvents = e
+	}
+}
+
 // AddSpan records a task execution interval. Failed and cancelled
 // attempts never push the makespan: the task's effective completion is
 // a different span (a successful retry ends later by construction; a
