@@ -28,6 +28,7 @@ import (
 	"multiprio/internal/runtime"
 	"multiprio/internal/sched/dmdas"
 	"multiprio/internal/sched/eager"
+	"multiprio/internal/sched/heft"
 	"multiprio/internal/sim"
 	"multiprio/internal/telemetry"
 )
@@ -369,6 +370,30 @@ func BenchmarkSimThroughput1e5(b *testing.B) {
 		}
 		if res.Makespan <= 0 {
 			b.Fatal("degenerate makespan")
+		}
+		tasks += len(g.Tasks)
+	}
+	b.ReportMetric(float64(tasks)/b.Elapsed().Seconds(), "tasks/s")
+}
+
+// BenchmarkHEFTPlan1e4 measures static-plan construction throughput:
+// a full HEFT pass (upward ranks, EFT insertion over every unit, order
+// extraction) over a 10^4-task random DAG. One iteration builds one
+// complete plan; reports planning throughput as tasks/s.
+func BenchmarkHEFTPlan1e4(b *testing.B) {
+	m := platform.IntelV100(platform.Config{})
+	g := randdag.Build(randdag.Params{Layers: 200, Width: 50, EdgeProb: 0.1, Machine: m, Seed: 42})
+	env := runtime.NewEnv(m, g)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var tasks int
+	for i := 0; i < b.N; i++ {
+		p, err := heft.BuildPlan(env, heft.RankUpward)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if p.Makespan <= 0 {
+			b.Fatal("degenerate plan")
 		}
 		tasks += len(g.Tasks)
 	}

@@ -3,8 +3,8 @@
 //
 // Usage:
 //
-//	multiprio-bench -exp table2|fig3|fig4|fig5|fig6|fig8|ablation|faults|stragglers|cluster|telemetry|all [-scale quick|full] [-gantt]
-//	                [-j N] [-cpuprofile f.pprof] [-memprofile f.pprof]
+//	multiprio-bench -exp table2|fig3|fig4|fig5|fig6|fig8|ablation|faults|static|stragglers|cluster|telemetry|all [-scale quick|full] [-gantt]
+//	                [-j N] [-fallback policy] [-cpuprofile f.pprof] [-memprofile f.pprof]
 //	                [-serve :9090] [-export run.jsonl] [-linger 30s]
 //
 // The sweep experiments (fig5, fig6, fig8, ablation, stress) run their
@@ -34,11 +34,12 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: table2, fig3, fig4, fig5, fig6, fig7, fig8, ablation, hier, energy, stress, overhead, faults, stragglers, cluster, stream, telemetry, all")
+	exp := flag.String("exp", "all", "experiment to run: table2, fig3, fig4, fig5, fig6, fig7, fig8, ablation, hier, energy, stress, overhead, faults, static, stragglers, cluster, stream, telemetry, all")
 	scaleFlag := flag.String("scale", "quick", "problem sizing: quick (seconds) or full (paper-scale, minutes)")
 	gantt := flag.Bool("gantt", false, "include ASCII Gantt traces where applicable (fig4)")
 	quick := flag.Bool("quick", false, "shorthand for -scale quick (CI smoke runs)")
 	jobs := flag.Int("j", runtime.NumCPU(), "sweep worker-pool size (1 = serial; output is identical either way)")
+	fallback := flag.String("fallback", "multiprio", "dynamic fallback policy for -exp static (hybrid repair target and the study's dynamic row)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	serveAddr := flag.String("serve", "", "serve telemetry (/metrics, /healthz, /readyz, /debug/*) on this address while experiments run")
@@ -96,7 +97,7 @@ func main() {
 		}
 	}
 
-	err := run(*exp, scale, *gantt)
+	err := run(*exp, scale, *gantt, *fallback)
 
 	if server != nil {
 		if *linger > 0 {
@@ -144,7 +145,7 @@ func main() {
 	}
 }
 
-func run(exp string, scale experiments.Scale, gantt bool) error {
+func run(exp string, scale experiments.Scale, gantt bool, fallback string) error {
 	out := os.Stdout
 	prog := os.Stderr
 
@@ -256,6 +257,14 @@ func run(exp string, scale experiments.Scale, gantt bool) error {
 			r.Print(out)
 			return nil
 		},
+		"static": func() error {
+			r, err := experiments.RunStatic(scale, fallback, prog)
+			if err != nil {
+				return err
+			}
+			r.Print(out)
+			return nil
+		},
 		"stragglers": func() error {
 			r, err := experiments.RunStragglers(scale, prog)
 			if err != nil {
@@ -299,7 +308,7 @@ func run(exp string, scale experiments.Scale, gantt bool) error {
 	}
 
 	if exp == "all" {
-		for _, name := range []string{"table2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "ablation", "hier", "energy", "stress", "overhead", "faults", "stragglers", "cluster", "stream", "telemetry", "scale"} {
+		for _, name := range []string{"table2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "ablation", "hier", "energy", "stress", "overhead", "faults", "static", "stragglers", "cluster", "stream", "telemetry", "scale"} {
 			fmt.Fprintf(out, "\n========== %s ==========\n", name)
 			if err := runs[name](); err != nil {
 				return fmt.Errorf("%s: %w", name, err)

@@ -33,6 +33,13 @@ type Params struct {
 	// reductions), exercising the engines' execution-time mutual
 	// exclusion. Default 0.
 	CommuteShare float64
+	// TypedFraction restricts a fraction of the accelerated tasks to the
+	// GPU class alone (TypedDAG-style affinity constraints): a typed task
+	// loses its CPU implementation, so only GPU workers are capable and
+	// every scheduler must honor the mask. Default 0 — and like
+	// CommuteShare, 0 draws no extra randoms, leaving existing seeds'
+	// graphs untouched.
+	TypedFraction float64
 	// MeanCost is the average CPU execution time in seconds. Defaults
 	// 5 ms.
 	MeanCost float64
@@ -111,6 +118,10 @@ func Build(p Params) *runtime.Graph {
 				// 10-40x accelerated, plus a launch floor.
 				cost[platform.ArchGPU] = cpu/(10+30*rng.Float64()) + 1e-5
 				kind = "accel"
+				if p.TypedFraction > 0 && rng.Float64() < p.TypedFraction {
+					cost[platform.ArchCPU] = 0 // GPU-only: CPU not capable
+					kind = "typed"
+				}
 			}
 			acc := []runtime.Access{{Handle: outs[l][i], Mode: runtime.W}}
 			if l > 0 {

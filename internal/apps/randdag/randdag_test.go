@@ -112,3 +112,40 @@ func TestQuickAlwaysSchedulable(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestTypedFractionZeroLeavesStreamUntouched(t *testing.T) {
+	m := platform.IntelV100(platform.Config{})
+	base := Build(Params{Layers: 5, Width: 8, CommuteShare: 0.3, Machine: m, Seed: 17})
+	same := Build(Params{Layers: 5, Width: 8, CommuteShare: 0.3, TypedFraction: 0, Machine: m, Seed: 17})
+	for i := range base.Tasks {
+		if base.Tasks[i].Cost[0] != same.Tasks[i].Cost[0] ||
+			base.Tasks[i].Priority != same.Tasks[i].Priority ||
+			len(base.Tasks[i].Accesses) != len(same.Tasks[i].Accesses) {
+			t.Fatalf("TypedFraction=0 perturbed the random stream at task %d", i)
+		}
+	}
+}
+
+func TestTypedFractionRestrictsToGPU(t *testing.T) {
+	m := platform.IntelV100(platform.Config{})
+	g := Build(Params{Layers: 6, Width: 10, GPUShare: 0.8, TypedFraction: 0.6, Machine: m, Seed: 9})
+	typed := 0
+	for _, task := range g.Tasks {
+		if task.Kind != "typed" {
+			continue
+		}
+		typed++
+		if task.CanRun(platform.ArchCPU) {
+			t.Errorf("typed task %d still runs on CPU", task.ID)
+		}
+		if !task.CanRun(platform.ArchGPU) {
+			t.Errorf("typed task %d runs nowhere", task.ID)
+		}
+	}
+	if typed == 0 {
+		t.Fatal("no typed tasks generated at TypedFraction=0.6")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -65,6 +65,11 @@ type Options struct {
 	// in-flight bound, and the no-cross-tenant-starvation replay. Nil
 	// skips the streaming invariants (batch runs).
 	Stream *StreamCheck
+	// Static enables validation of static-plan replay runs: every
+	// effective attempt on its planned worker in plan order unless a
+	// justified repair event covers the task (static.go). Nil skips it
+	// (dynamic runs have no plan to conform to).
+	Static *StaticCheck
 }
 
 // FaultCheck configures exactly-once-effective validation: failed
@@ -160,6 +165,9 @@ func Check(g *runtime.Graph, tr *trace.Trace, opts Options) error {
 		}
 		if opts.Stream != nil {
 			c.checkStream()
+		}
+		if opts.Static != nil {
+			c.checkStatic()
 		}
 		if len(tr.MemEvents) > 0 {
 			c.replayMemory()

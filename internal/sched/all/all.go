@@ -9,6 +9,7 @@ import (
 	_ "multiprio/internal/core"
 	_ "multiprio/internal/sched/dmdas"
 	_ "multiprio/internal/sched/eager"
+	_ "multiprio/internal/sched/heft"
 	_ "multiprio/internal/sched/heteroprio"
 	_ "multiprio/internal/sched/lws"
 	_ "multiprio/internal/sched/prio"

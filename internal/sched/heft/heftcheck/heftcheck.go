@@ -1,0 +1,38 @@
+// Package heftcheck bridges the heft replay schedulers to the oracle:
+// it assembles the oracle.StaticCheck for a finished run from the plan
+// the scheduler computed, the repair events it logged, and the kills
+// the engine applied. It lives outside both packages so that heft stays
+// import-free of oracle (the oracle's own tests blank-import the full
+// scheduler registry, which would otherwise cycle).
+package heftcheck
+
+import (
+	"multiprio/internal/oracle"
+	"multiprio/internal/runtime"
+	"multiprio/internal/sched/heft"
+)
+
+// For builds the StaticCheck validating the run s just replayed. Pass
+// the engine's applied kills (Result.Faults.AppliedKills; nil for
+// fault-free runs).
+func For(s *heft.Sched, kills []runtime.AppliedKill) *oracle.StaticCheck {
+	p := s.Plan()
+	sc := &oracle.StaticCheck{
+		Assignment:  p.Assignment,
+		Order:       p.Order,
+		Finish:      p.Finish,
+		Makespan:    p.Makespan,
+		SlackFactor: s.EffectiveSlackFactor(),
+		Kills:       kills,
+	}
+	for _, r := range s.Repairs() {
+		sc.Repairs = append(sc.Repairs, oracle.StaticRepair{
+			At:      r.At,
+			Worker:  r.Worker,
+			Reason:  string(r.Reason),
+			Trigger: r.Trigger,
+			Tasks:   r.Tasks,
+		})
+	}
+	return sc
+}

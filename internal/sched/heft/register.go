@@ -1,0 +1,45 @@
+package heft
+
+import (
+	"fmt"
+
+	"multiprio/internal/runtime"
+	"multiprio/internal/sched/registry"
+)
+
+// DefaultFallback is the dynamic policy hybrid repair diverts to when
+// registry.Options.Fallback is empty — the paper's multi-priority
+// scheduler, so "hybrid" out of the box means "static plan, dynamic
+// multiprio repair".
+const DefaultFallback = "multiprio"
+
+func init() {
+	registry.Register("heft", func(registry.Options) runtime.Scheduler {
+		return NewStatic(RankUpward)
+	})
+	registry.Register("heft-oft", func(registry.Options) runtime.Scheduler {
+		return NewStatic(RankOptimistic)
+	})
+	registry.Register("heft-hybrid", hybridFactory(RankUpward))
+	registry.Register("heft-oft-hybrid", hybridFactory(RankOptimistic))
+}
+
+func hybridFactory(alg Algorithm) registry.Factory {
+	return func(opts registry.Options) runtime.Scheduler {
+		name := opts.Fallback
+		if name == "" {
+			name = DefaultFallback
+		}
+		// The fallback inherits the caller's tuning knobs, but its own
+		// Fallback is cleared: "heft-hybrid" as its own fallback must
+		// terminate after one level, not recurse.
+		opts.Fallback = ""
+		fb, err := registry.New(name, opts)
+		if err != nil {
+			// registry.New validated Fallback before invoking us, so
+			// this only fires when the factory is called directly.
+			panic(fmt.Sprintf("heft: hybrid fallback: %v", err))
+		}
+		return NewHybrid(alg, fb)
+	}
+}

@@ -29,6 +29,11 @@ type Options struct {
 	Epsilon float64
 	// MaxTries bounds evict-and-retry pop loops.
 	MaxTries int
+	// Fallback names the dynamic policy hybrid-repair schedulers divert
+	// deviated work to (empty means the policy's default, multiprio).
+	// New validates it against the registry, so a CLI typo fails before
+	// any run starts rather than inside a hybrid factory.
+	Fallback string
 }
 
 // Factory builds one scheduler instance. Instances are single-run:
@@ -63,6 +68,14 @@ func New(name string, opts Options) (runtime.Scheduler, error) {
 	mu.RUnlock()
 	if f == nil {
 		return nil, fmt.Errorf("registry: unknown scheduler %q (have %v)", name, Names())
+	}
+	if opts.Fallback != "" {
+		mu.RLock()
+		ff := factories[opts.Fallback]
+		mu.RUnlock()
+		if ff == nil {
+			return nil, fmt.Errorf("registry: unknown fallback scheduler %q (have %v)", opts.Fallback, Names())
+		}
 	}
 	return f(opts), nil
 }
